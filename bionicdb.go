@@ -1,0 +1,182 @@
+// Package bionicdb is a simulation-backed reproduction of "The bionic DBMS
+// is coming, but what will it look like?" (Johnson & Pandis, CIDR 2013): a
+// complete OLTP engine family — conventional shared-everything 2PL,
+// data-oriented execution (DORA), and the paper's "bionic" hybrid that
+// offloads B+Tree probes, log insertion, queue management and the overlay
+// database to modelled FPGA hardware — running on a deterministic
+// discrete-event model of the paper's CPU+FPGA platform, with TATP and
+// TPC-C workloads and joules-per-transaction as a first-class metric.
+//
+// The package re-exports the supported API surface; see the examples
+// directory for usage and DESIGN.md for the system inventory.
+package bionicdb
+
+import (
+	"fmt"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/darksilicon"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/workload/tatp"
+	"bionicdb/internal/workload/tpcc"
+)
+
+// Simulated time.
+type (
+	// Duration is a span of simulated time in picoseconds.
+	Duration = sim.Duration
+	// Time is an absolute simulated timestamp.
+	Time = sim.Time
+)
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Engine API.
+type (
+	// Engine is a complete transaction-processing system under one cost
+	// model (conventional, DORA, or bionic).
+	Engine = core.Engine
+	// Tx is the coordinator handle a transaction program drives.
+	Tx = core.Tx
+	// Action is one partition-confined unit of a transaction.
+	Action = core.Action
+	// AccessCtx is the data interface action bodies program against.
+	AccessCtx = core.AccessCtx
+	// TxnLogic is a transaction program.
+	TxnLogic = core.TxnLogic
+	// Terminal is one closed-loop client.
+	Terminal = core.Terminal
+	// TableDef declares one index-organized table.
+	TableDef = core.TableDef
+	// PartitionScheme routes keys to DORA partitions and entities.
+	PartitionScheme = core.PartitionScheme
+	// Offloads selects the bionic engine's hardware units.
+	Offloads = core.Offloads
+	// Workload is a benchmark: schema, population, mix.
+	Workload = core.Workload
+	// RunConfig shapes one measurement.
+	RunConfig = core.RunConfig
+	// Result is one measurement's output: throughput, joules/txn,
+	// latency percentiles and the Figure 3 breakdown.
+	Result = core.Result
+	// PlatformConfig holds every machine-model calibration constant.
+	PlatformConfig = platform.Config
+	// EnergyReport is a measurement window's joules by hardware domain.
+	EnergyReport = platform.EnergyReport
+)
+
+// Env is the discrete-event simulation environment engines run in.
+type Env = sim.Env
+
+// Proc is a simulated process (a terminal, a daemon, a driver).
+type Proc = sim.Proc
+
+// Rand is the deterministic random generator simulations must use.
+type Rand = sim.Rand
+
+// NewEnv creates an empty simulation environment.
+func NewEnv() *Env { return sim.NewEnv() }
+
+// NewRand creates a seeded deterministic random generator.
+func NewRand(seed uint64) *Rand { return sim.NewRand(seed) }
+
+// BreakdownLines renders a Figure 3 component breakdown as aligned text
+// lines for quick printing.
+func BreakdownLines(bd *stats.Breakdown) []string {
+	total := bd.Total()
+	out := make([]string, 0, int(stats.NumComponents))
+	for _, c := range stats.Components() {
+		share := 0.0
+		if total > 0 {
+			share = float64(bd.Get(c)) / float64(total) * 100
+		}
+		out = append(out, fmt.Sprintf("%-11s %10v  %5.1f%%", c.String(), bd.Get(c), share))
+	}
+	return out
+}
+
+// HC2 returns the default platform configuration: the Convey HC-2-class
+// machine of the paper's Figure 2.
+func HC2() *PlatformConfig { return platform.HC2() }
+
+// NewConventional builds the shared-everything 2PL baseline engine.
+func NewConventional(env *Env, cfg *PlatformConfig, tables []TableDef) Engine {
+	return core.NewConventional(env, cfg, tables)
+}
+
+// NewDORA builds the software data-oriented engine (the paper's Figure 3
+// baseline).
+func NewDORA(env *Env, cfg *PlatformConfig, tables []TableDef, scheme PartitionScheme) Engine {
+	return core.NewDORA(env, cfg, tables, scheme)
+}
+
+// NewBionic builds the bionic engine: DORA plus the selected hardware
+// offloads, with an in-flight window per partition (0 uses the default).
+func NewBionic(env *Env, cfg *PlatformConfig, tables []TableDef, scheme PartitionScheme, off Offloads, window int) Engine {
+	return core.NewBionic(env, cfg, tables, scheme, off, window)
+}
+
+// AllOffloads enables every hardware unit — the full Figure 4 system.
+func AllOffloads() Offloads { return core.AllOffloads() }
+
+// HashScheme returns a generic hash partitioning scheme.
+func HashScheme(partitions int) PartitionScheme { return core.HashScheme(partitions) }
+
+// Run executes one full measurement: build, populate, warm, measure, drain.
+func Run(cfg RunConfig, wl Workload, mk func(env *Env) Engine) (*Result, error) {
+	return core.Run(cfg, wl, mk)
+}
+
+// DefaultRunConfig returns the figure generators' measurement shape.
+func DefaultRunConfig() RunConfig { return core.DefaultRunConfig() }
+
+// Workloads.
+
+// TATPConfig scales the TATP benchmark.
+type TATPConfig = tatp.Config
+
+// NewTATP creates the TATP workload (Subscribers <= 0 uses the default
+// 100k).
+func NewTATP(cfg TATPConfig) *tatp.Workload {
+	if cfg.Subscribers <= 0 {
+		cfg = tatp.DefaultConfig()
+	}
+	return tatp.New(cfg)
+}
+
+// TPCCConfig scales the TPC-C benchmark.
+type TPCCConfig = tpcc.Config
+
+// NewTPCC creates the TPC-C workload (zero config uses the default 4
+// warehouses).
+func NewTPCC(cfg TPCCConfig) *tpcc.Workload {
+	if cfg.Warehouses <= 0 {
+		cfg = tpcc.DefaultConfig()
+	}
+	return tpcc.New(cfg)
+}
+
+// Dark silicon analytics (the paper's §2 / Figure 1).
+
+// AmdahlSpeedup is Amdahl's law for the given serial fraction and cores.
+func AmdahlSpeedup(serialFrac float64, cores int) float64 {
+	return darksilicon.Speedup(serialFrac, cores)
+}
+
+// ChipUtilization is the utilized fraction of an n-core chip.
+func ChipUtilization(serialFrac float64, cores int) float64 {
+	return darksilicon.Utilization(serialFrac, cores)
+}
+
+// EnergyPerOp returns joules/op for a component at a power and throughput.
+func EnergyPerOp(powerW, opsPerSec float64) float64 {
+	return darksilicon.EnergyPerOp(powerW, opsPerSec)
+}

@@ -1,0 +1,51 @@
+// Command darksilicon prints the paper's Figure 1 dark-silicon model for
+// custom chip parameters:
+//
+//	darksilicon -cores 1024 -cap 0.8 -serial 0.10,0.01,0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bionicdb/internal/darksilicon"
+	"bionicdb/internal/stats"
+)
+
+func main() {
+	cores := flag.Int("cores", 1024, "cores on the chip")
+	cap := flag.Float64("cap", 0.8, "fraction of the chip inside the power envelope")
+	serial := flag.String("serial", "0.10,0.01,0.001,0.0001", "comma-separated serial fractions")
+	flag.Parse()
+
+	var fracs []float64
+	for _, s := range strings.Split(*serial, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || f < 0 || f > 1 {
+			fmt.Fprintf(os.Stderr, "bad serial fraction %q\n", s)
+			os.Exit(2)
+		}
+		fracs = append(fracs, f)
+	}
+
+	headers := []string{"cores"}
+	for _, f := range fracs {
+		headers = append(headers, ">"+darksilicon.FormatPct(f)+" serial")
+	}
+	t := stats.NewTable(headers...)
+	for n := 1; n <= *cores; n *= 2 {
+		row := []any{fmt.Sprintf("%d", n)}
+		for _, f := range fracs {
+			p := darksilicon.Panel{Cores: n, PowerCap: *cap}
+			row = append(row, darksilicon.FormatPct(darksilicon.PanelUtilization(p, f)))
+		}
+		t.Row(row...)
+	}
+	fmt.Print(t.String())
+
+	fmt.Printf("\nserial fraction needed for 90%% utilization: %s\n",
+		darksilicon.FormatPct(darksilicon.RequiredSerialFraction(0.9, *cores)))
+}

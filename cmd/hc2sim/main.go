@@ -1,0 +1,42 @@
+// Command hc2sim characterizes the simulated CPU/FPGA platform against the
+// paper's Figure 2 numbers: for every component it reports the configured
+// (spec) bandwidth and latency next to what microbenchmarks measure on the
+// machine model. Flags override individual spec values to explore
+// alternative platforms.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+func main() {
+	pcieUs := flag.Float64("pcie-us", 1.0, "PCIe one-way latency, microseconds")
+	pcieGB := flag.Float64("pcie-gbps", 4.0, "PCIe bandwidth, GB/s")
+	sgGB := flag.Float64("sg-gbps", 80.0, "SG-DRAM bandwidth, GB/s")
+	cores := flag.Int("cores", 8, "CPU cores")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	cfg := platform.HC2()
+	cfg.PCIeLat = sim.Duration(*pcieUs * float64(sim.Microsecond))
+	cfg.PCIeBWGBps = *pcieGB
+	cfg.SGDRAMBWGBps = *sgGB
+	cfg.Cores = *cores
+
+	t := stats.NewTable("component", ">spec GB/s", ">meas GB/s", ">spec latency", ">meas latency")
+	for _, row := range platform.Characterize(cfg) {
+		t.Row(row.Name,
+			fmt.Sprintf("%.2f", row.SpecGBps), fmt.Sprintf("%.2f", row.MeasGBps),
+			row.SpecLat.String(), row.MeasLat.String())
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}

@@ -1,0 +1,545 @@
+// Package btree implements the B+Tree used by every engine: byte-string
+// keys in lexicographic order (with order-preserving integer encodings from
+// package storage), values in the leaves, a linked leaf level for range
+// scans, and split/borrow/merge rebalancing. The tree is a pure data
+// structure — it charges no simulated time itself. Instead each operation
+// can fill a Trace describing the nodes it touched and the comparisons it
+// made, and the engines convert traces into CPU, cache or SG-DRAM charges.
+// This is what lets one tree serve both the software path (cache-modelled
+// probes) and the hardware tree-probe engine (SG-DRAM-modelled probes).
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"bionicdb/internal/storage"
+)
+
+// DefaultOrder is the default maximum number of keys per node. With ~32-byte
+// keys+values this keeps nodes within an 8 KiB page, giving the "branching
+// factors of several hundred" the paper assumes.
+const DefaultOrder = 128
+
+// Config parameterizes a tree.
+type Config struct {
+	// Order is the maximum number of keys per node (min 4); nodes split
+	// when they exceed it and rebalance below Order/2.
+	Order int
+	// AddrOf assigns a timing-model address to a newly allocated node
+	// given its page id and approximate byte size. Nil uses a synthetic
+	// host address (suitable for unit tests).
+	AddrOf func(id storage.PageID, size int) uint64
+	// NextID allocates node page ids. Nil uses a private counter.
+	NextID func() storage.PageID
+}
+
+// Visit records one node touched during an operation.
+type Visit struct {
+	ID    storage.PageID
+	Addr  uint64
+	Cmps  int // key comparisons performed in this node
+	Leaf  bool
+	Bytes int // approximate bytes examined (for hardware transfer sizing)
+}
+
+// Trace accumulates the work done by one tree operation so engines can
+// charge it to the timing model. Reuse traces across operations via Reset.
+type Trace struct {
+	Visits  []Visit
+	Splits  int
+	Merges  int
+	Borrows int
+	// NewPages lists pages born during this operation (splits, root
+	// growth); page caches install them without I/O.
+	NewPages []storage.PageID
+}
+
+// Reset clears the trace for reuse without freeing its storage.
+func (t *Trace) Reset() {
+	t.Visits = t.Visits[:0]
+	t.Splits, t.Merges, t.Borrows = 0, 0, 0
+	t.NewPages = t.NewPages[:0]
+}
+
+// Depth returns the number of nodes visited on the root-to-leaf path.
+func (t *Trace) Depth() int { return len(t.Visits) }
+
+type node struct {
+	id   storage.PageID
+	addr uint64
+	leaf bool
+	keys [][]byte
+	vals [][]byte // leaf only; parallel to keys
+	kids []*node  // inner only; len(kids) == len(keys)+1
+	next *node    // leaf chain
+}
+
+// Tree is a B+Tree. The zero value is not usable; create trees with New.
+type Tree struct {
+	cfg    Config
+	root   *node
+	height int
+	size   int
+	nextID storage.PageID
+}
+
+// New creates an empty tree.
+func New(cfg Config) *Tree {
+	if cfg.Order == 0 {
+		cfg.Order = DefaultOrder
+	}
+	if cfg.Order < 4 {
+		cfg.Order = 4
+	}
+	t := &Tree{cfg: cfg, nextID: 1}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	var id storage.PageID
+	if t.cfg.NextID != nil {
+		id = t.cfg.NextID()
+	} else {
+		id = t.nextID
+		t.nextID++
+	}
+	n := &node{id: id, leaf: leaf}
+	if t.cfg.AddrOf != nil {
+		n.addr = t.cfg.AddrOf(id, t.cfg.Order*32)
+	} else {
+		n.addr = uint64(id) * 8192
+	}
+	return n
+}
+
+// Size returns the number of keys stored.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Order returns the configured maximum keys per node.
+func (t *Tree) Order() int { return t.cfg.Order }
+
+// RootID returns the page id of the root node, for checkpoint catalogs.
+func (t *Tree) RootID() storage.PageID { return t.root.id }
+
+func (t *Tree) minKeys() int { return t.cfg.Order / 2 }
+
+// searchIdx returns the number of keys in n that are <= key (the child
+// index to descend into) and the comparisons a binary search performs.
+func searchIdx(n *node, key []byte) (idx, cmps int) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cmps++
+		if bytes.Compare(n.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, cmps
+}
+
+// leafIdx returns the position of key in leaf n (found) or its insertion
+// point (!found), plus comparisons.
+func leafIdx(n *node, key []byte) (idx int, found bool, cmps int) {
+	idx, cmps = searchIdx(n, key)
+	// searchIdx counts keys <= key, so an exact match is at idx-1.
+	if idx > 0 && bytes.Equal(n.keys[idx-1], key) {
+		return idx - 1, true, cmps
+	}
+	return idx, false, cmps
+}
+
+func (t *Tree) visit(tr *Trace, n *node, cmps int) {
+	if tr == nil {
+		return
+	}
+	b := 16 // header
+	if cmps > 0 {
+		b += cmps * 24 // examined key slots
+	}
+	tr.Visits = append(tr.Visits, Visit{ID: n.id, Addr: n.addr, Cmps: cmps, Leaf: n.leaf, Bytes: b})
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte, tr *Trace) (val []byte, ok bool) {
+	n := t.root
+	for !n.leaf {
+		idx, cmps := searchIdx(n, key)
+		t.visit(tr, n, cmps)
+		n = n.kids[idx]
+	}
+	idx, found, cmps := leafIdx(n, key)
+	t.visit(tr, n, cmps)
+	if !found {
+		return nil, false
+	}
+	return n.vals[idx], true
+}
+
+// Put inserts or replaces key's value and returns the previous value, if
+// any. The value slice is stored as-is (callers must not mutate it after).
+func (t *Tree) Put(key, val []byte, tr *Trace) (prev []byte, existed bool) {
+	prev, existed, splitKey, right := t.insert(t.root, key, val, tr)
+	if right != nil {
+		newRoot := t.newNode(false)
+		newRoot.keys = append(newRoot.keys, splitKey)
+		newRoot.kids = append(newRoot.kids, t.root, right)
+		t.root = newRoot
+		t.height++
+		if tr != nil {
+			tr.NewPages = append(tr.NewPages, newRoot.id)
+		}
+	}
+	if !existed {
+		t.size++
+	}
+	return prev, existed
+}
+
+// insert descends into n; on child split it returns the separator and new
+// right sibling for the caller to install.
+func (t *Tree) insert(n *node, key, val []byte, tr *Trace) (prev []byte, existed bool, splitKey []byte, right *node) {
+	if n.leaf {
+		idx, found, cmps := leafIdx(n, key)
+		t.visit(tr, n, cmps)
+		if found {
+			prev = n.vals[idx]
+			n.vals[idx] = val
+			return prev, true, nil, nil
+		}
+		n.keys = insertAt(n.keys, idx, key)
+		n.vals = insertAt(n.vals, idx, val)
+		if len(n.keys) > t.cfg.Order {
+			splitKey, right = t.splitLeaf(n, tr)
+		}
+		return nil, false, splitKey, right
+	}
+	idx, cmps := searchIdx(n, key)
+	t.visit(tr, n, cmps)
+	prev, existed, sk, r := t.insert(n.kids[idx], key, val, tr)
+	if r != nil {
+		n.keys = insertAt(n.keys, idx, sk)
+		n.kids = insertAt(n.kids, idx+1, r)
+		if len(n.keys) > t.cfg.Order {
+			splitKey, right = t.splitInner(n, tr)
+		}
+	}
+	return prev, existed, splitKey, right
+}
+
+func (t *Tree) splitLeaf(n *node, tr *Trace) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	r := t.newNode(true)
+	if tr != nil {
+		tr.Splits++
+		tr.NewPages = append(tr.NewPages, r.id)
+	}
+	r.keys = append(r.keys, n.keys[mid:]...)
+	r.vals = append(r.vals, n.vals[mid:]...)
+	n.keys = clip(n.keys[:mid])
+	n.vals = clip(n.vals[:mid])
+	r.next = n.next
+	n.next = r
+	return r.keys[0], r
+}
+
+func (t *Tree) splitInner(n *node, tr *Trace) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	pivot := n.keys[mid]
+	r := t.newNode(false)
+	if tr != nil {
+		tr.Splits++
+		tr.NewPages = append(tr.NewPages, r.id)
+	}
+	r.keys = append(r.keys, n.keys[mid+1:]...)
+	r.kids = append(r.kids, n.kids[mid+1:]...)
+	n.keys = clip(n.keys[:mid])
+	n.kids = clip(n.kids[:mid+1])
+	return pivot, r
+}
+
+// Delete removes key and returns its value, if present.
+func (t *Tree) Delete(key []byte, tr *Trace) (val []byte, ok bool) {
+	val, ok = t.remove(t.root, key, tr)
+	if ok {
+		t.size--
+	}
+	// Collapse a root with a single child.
+	for !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.kids[0]
+		t.height--
+	}
+	return val, ok
+}
+
+// remove deletes key under n, rebalancing children that underflow.
+func (t *Tree) remove(n *node, key []byte, tr *Trace) (val []byte, ok bool) {
+	if n.leaf {
+		idx, found, cmps := leafIdx(n, key)
+		t.visit(tr, n, cmps)
+		if !found {
+			return nil, false
+		}
+		val = n.vals[idx]
+		n.keys = removeAt(n.keys, idx)
+		n.vals = removeAt(n.vals, idx)
+		return val, true
+	}
+	idx, cmps := searchIdx(n, key)
+	t.visit(tr, n, cmps)
+	val, ok = t.remove(n.kids[idx], key, tr)
+	if ok && len(n.kids[idx].keys) < t.minKeys() {
+		t.rebalance(n, idx, tr)
+	}
+	return val, ok
+}
+
+// rebalance fixes underflow of n.kids[idx] by borrowing from a sibling or
+// merging with one.
+func (t *Tree) rebalance(n *node, idx int, tr *Trace) {
+	child := n.kids[idx]
+	// Try borrowing from the left sibling.
+	if idx > 0 {
+		left := n.kids[idx-1]
+		if len(left.keys) > t.minKeys() {
+			if tr != nil {
+				tr.Borrows++
+			}
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, left.keys[last])
+				child.vals = insertAt(child.vals, 0, left.vals[last])
+				left.keys = clip(left.keys[:last])
+				left.vals = clip(left.vals[:last])
+				n.keys[idx-1] = child.keys[0]
+			} else {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, n.keys[idx-1])
+				n.keys[idx-1] = left.keys[last]
+				child.kids = insertAt(child.kids, 0, left.kids[last+1])
+				left.keys = clip(left.keys[:last])
+				left.kids = clip(left.kids[:last+1])
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if idx < len(n.kids)-1 {
+		rightSib := n.kids[idx+1]
+		if len(rightSib.keys) > t.minKeys() {
+			if tr != nil {
+				tr.Borrows++
+			}
+			if child.leaf {
+				child.keys = append(child.keys, rightSib.keys[0])
+				child.vals = append(child.vals, rightSib.vals[0])
+				rightSib.keys = removeAt(rightSib.keys, 0)
+				rightSib.vals = removeAt(rightSib.vals, 0)
+				n.keys[idx] = rightSib.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[idx])
+				n.keys[idx] = rightSib.keys[0]
+				child.kids = append(child.kids, rightSib.kids[0])
+				rightSib.keys = removeAt(rightSib.keys, 0)
+				rightSib.kids = removeAt(rightSib.kids, 0)
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if tr != nil {
+		tr.Merges++
+	}
+	if idx > 0 {
+		t.merge(n, idx-1)
+	} else {
+		t.merge(n, idx)
+	}
+}
+
+// merge folds n.kids[i+1] into n.kids[i] and drops separator n.keys[i].
+func (t *Tree) merge(n *node, i int) {
+	left, right := n.kids[i], n.kids[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.kids = append(left.kids, right.kids...)
+	}
+	n.keys = removeAt(n.keys, i)
+	n.kids = removeAt(n.kids, i+1)
+}
+
+// Scan calls fn for each key in [from, to) in ascending order; a nil to
+// means no upper bound, a nil from starts at the smallest key. fn returning
+// false stops the scan. The trace records the descent to the first leaf and
+// each additional leaf visited.
+func (t *Tree) Scan(from, to []byte, tr *Trace, fn func(key, val []byte) bool) {
+	n := t.root
+	for !n.leaf {
+		idx, cmps := searchIdx(n, from)
+		t.visit(tr, n, cmps)
+		n = n.kids[idx]
+	}
+	idx := 0
+	if from != nil {
+		var cmps int
+		idx, _, cmps = leafIdx(n, from)
+		t.visit(tr, n, cmps)
+	} else {
+		t.visit(tr, n, 0)
+	}
+	for n != nil {
+		for ; idx < len(n.keys); idx++ {
+			if to != nil && bytes.Compare(n.keys[idx], to) >= 0 {
+				return
+			}
+			if !fn(n.keys[idx], n.vals[idx]) {
+				return
+			}
+		}
+		n = n.next
+		idx = 0
+		if n != nil {
+			t.visit(tr, n, 0)
+		}
+	}
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree) Min(tr *Trace) (key, val []byte, ok bool) {
+	n := t.root
+	for !n.leaf {
+		t.visit(tr, n, 0)
+		n = n.kids[0]
+	}
+	t.visit(tr, n, 0)
+	if len(n.keys) == 0 {
+		return nil, nil, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Pages calls fn for every node in the tree (root first), reporting its
+// page id and whether it is a leaf. Engines use it to prewarm page caches
+// after population.
+func (t *Tree) Pages(fn func(id storage.PageID, leaf bool)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		fn(n.id, n.leaf)
+		if !n.leaf {
+			for _, kid := range n.kids {
+				walk(kid)
+			}
+		}
+	}
+	walk(t.root)
+}
+
+// Validate checks every structural invariant and returns the first
+// violation: key ordering, node occupancy, separator bounds, uniform leaf
+// depth, leaf-chain consistency and size agreement. It is the oracle for
+// the property-based tests.
+func (t *Tree) Validate() error {
+	count := 0
+	var leaves []*node
+	var walk func(n *node, depth int, lo, hi []byte) error
+	walk = func(n *node, depth int, lo, hi []byte) error {
+		if n != t.root && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("node %d underflow: %d keys < min %d", n.id, len(n.keys), t.minKeys())
+		}
+		if len(n.keys) > t.cfg.Order {
+			return fmt.Errorf("node %d overflow: %d keys > order %d", n.id, len(n.keys), t.cfg.Order)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return fmt.Errorf("node %d keys out of order at %d", n.id, i)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("node %d key below separator bound", n.id)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("node %d key above separator bound", n.id)
+			}
+		}
+		if n.leaf {
+			if depth != t.height {
+				return fmt.Errorf("leaf %d at depth %d, height %d", n.id, depth, t.height)
+			}
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("leaf %d has %d vals for %d keys", n.id, len(n.vals), len(n.keys))
+			}
+			count += len(n.keys)
+			leaves = append(leaves, n)
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("inner %d has %d kids for %d keys", n.id, len(n.kids), len(n.keys))
+		}
+		for i, kid := range n.kids {
+			klo, khi := lo, hi
+			if i > 0 {
+				klo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				khi = n.keys[i]
+			}
+			if err := walk(kid, depth+1, klo, khi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d but %d keys found", t.size, count)
+	}
+	// Leaf chain must enumerate exactly the in-order leaves.
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	for i, leaf := range leaves {
+		if n != leaf {
+			return fmt.Errorf("leaf chain diverges at leaf %d", i)
+		}
+		n = n.next
+	}
+	if n != nil {
+		return fmt.Errorf("leaf chain has trailing nodes")
+	}
+	return nil
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	s = append(s, v)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	var zero T
+	s[len(s)-1] = zero
+	return s[:len(s)-1]
+}
+
+// clip re-slices with zeroed tail so dropped references can be collected.
+func clip[T any](s []T) []T {
+	return s[: len(s) : len(s)+0]
+}

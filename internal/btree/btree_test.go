@@ -1,0 +1,468 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bionicdb/internal/sim"
+	"bionicdb/internal/storage"
+)
+
+func key(i int) []byte  { return storage.Uint64Key(uint64(i)) }
+func val(i int) []byte  { return []byte(fmt.Sprintf("v%d", i)) }
+func small() *Tree      { return New(Config{Order: 4}) }
+func sized(o int) *Tree { return New(Config{Order: o}) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := small()
+	if tr.Size() != 0 || tr.Height() != 1 {
+		t.Fatalf("size=%d height=%d", tr.Size(), tr.Height())
+	}
+	if _, ok := tr.Get(key(1), nil); ok {
+		t.Fatal("found key in empty tree")
+	}
+	if _, ok := tr.Delete(key(1), nil); ok {
+		t.Fatal("deleted key from empty tree")
+	}
+	if _, _, ok := tr.Min(nil); ok {
+		t.Fatal("min of empty tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	tr := sized(8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	if tr.Size() != n {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i), nil)
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d: got %q ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(n), nil); ok {
+		t.Fatal("found absent key")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tr := small()
+	tr.Put(key(1), []byte("a"), nil)
+	prev, existed := tr.Put(key(1), []byte("b"), nil)
+	if !existed || string(prev) != "a" {
+		t.Fatalf("prev=%q existed=%v", prev, existed)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("size=%d after replace", tr.Size())
+	}
+	v, _ := tr.Get(key(1), nil)
+	if string(v) != "b" {
+		t.Fatalf("v=%q", v)
+	}
+}
+
+func TestReverseAndRandomInsertOrders(t *testing.T) {
+	for name, order := range map[string][]int{
+		"reverse": reverseInts(500),
+		"shuffle": shuffleInts(500, 7),
+	} {
+		tr := sized(6)
+		for _, i := range order {
+			tr.Put(key(i), val(i), nil)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, i := range order {
+			if v, ok := tr.Get(key(i), nil); !ok || !bytes.Equal(v, val(i)) {
+				t.Fatalf("%s: key %d missing", name, i)
+			}
+		}
+	}
+}
+
+func reverseInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+func shuffleInts(n int, seed uint64) []int {
+	r := sim.NewRand(seed)
+	out := r.Perm(n)
+	return out
+}
+
+func TestDeleteEverySecondThenAll(t *testing.T) {
+	tr := sized(4)
+	const n = 600
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	for i := 0; i < n; i += 2 {
+		v, ok := tr.Delete(key(i), nil)
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i), nil)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		if _, ok := tr.Delete(key(i), nil); !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Size() != 0 || tr.Height() != 1 {
+		t.Fatalf("size=%d height=%d after deleting all", tr.Size(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := small()
+	tr.Put(key(1), val(1), nil)
+	if _, ok := tr.Delete(key(2), nil); ok {
+		t.Fatal("deleted absent key")
+	}
+	if tr.Size() != 1 {
+		t.Fatal("size disturbed by absent delete")
+	}
+}
+
+func TestHeightGrowsAndShrinks(t *testing.T) {
+	tr := sized(4)
+	for i := 0; i < 200; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	grown := tr.Height()
+	if grown < 3 {
+		t.Fatalf("height %d after 200 inserts at order 4", grown)
+	}
+	for i := 0; i < 200; i++ {
+		tr.Delete(key(i), nil)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height %d after deleting all", tr.Height())
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := sized(6)
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i*2), val(i*2), nil) // even keys 0..198
+	}
+	var got []int
+	tr.Scan(key(10), key(31), nil, func(k, v []byte) bool {
+		got = append(got, int(storage.DecodeUint64(k)))
+		return true
+	})
+	want := []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanUnbounded(t *testing.T) {
+	tr := sized(5)
+	for i := 0; i < 50; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	count := 0
+	prev := -1
+	tr.Scan(nil, nil, nil, func(k, v []byte) bool {
+		cur := int(storage.DecodeUint64(k))
+		if cur <= prev {
+			t.Fatalf("scan out of order: %d after %d", cur, prev)
+		}
+		prev = cur
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("scanned %d", count)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := sized(5)
+	for i := 0; i < 50; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	count := 0
+	tr.Scan(nil, nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("scanned %d, want 7", count)
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	tr := sized(5)
+	for i := 0; i < 20; i++ {
+		tr.Put(key(i*10), val(i), nil)
+	}
+	count := 0
+	tr.Scan(key(11), key(19), nil, func(k, v []byte) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("empty range yielded %d", count)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := sized(5)
+	for i := 100; i > 3; i-- {
+		tr.Put(key(i), val(i), nil)
+	}
+	k, v, ok := tr.Min(nil)
+	if !ok || storage.DecodeUint64(k) != 4 || !bytes.Equal(v, val(4)) {
+		t.Fatalf("min = %v %q %v", k, v, ok)
+	}
+}
+
+func TestTraceReportsPath(t *testing.T) {
+	tr := sized(4)
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	var trace Trace
+	tr.Get(key(250), &trace)
+	if trace.Depth() != tr.Height() {
+		t.Fatalf("trace depth %d, height %d", trace.Depth(), tr.Height())
+	}
+	if !trace.Visits[len(trace.Visits)-1].Leaf {
+		t.Fatal("last visit not a leaf")
+	}
+	for _, v := range trace.Visits[:len(trace.Visits)-1] {
+		if v.Leaf {
+			t.Fatal("interior visit marked leaf")
+		}
+		if v.Addr == 0 || v.ID == 0 {
+			t.Fatal("visit missing identity")
+		}
+	}
+	trace.Reset()
+	if trace.Depth() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTraceCountsSplits(t *testing.T) {
+	tr := sized(4)
+	var total Trace
+	for i := 0; i < 100; i++ {
+		var trace Trace
+		tr.Put(key(i), val(i), &trace)
+		total.Splits += trace.Splits
+	}
+	if total.Splits == 0 {
+		t.Fatal("no splits recorded across 100 inserts at order 4")
+	}
+}
+
+func TestVariableLengthStringKeys(t *testing.T) {
+	tr := sized(6)
+	words := []string{"a", "ab", "abc", "b", "ba", "z", "zz", "zzz", "m", "mn", "mno", ""}
+	for i, w := range words {
+		tr.Put([]byte(w), val(i), nil)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		v, ok := tr.Get([]byte(w), nil)
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("word %q missing", w)
+		}
+	}
+	// Lexicographic scan order.
+	var got []string
+	tr.Scan(nil, nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan order wrong: %q >= %q", got[i-1], got[i])
+		}
+	}
+}
+
+func TestCheckpointLoadRoundTrip(t *testing.T) {
+	tr := sized(6)
+	const n = 777
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	for i := 0; i < n; i += 3 {
+		tr.Delete(key(i), nil)
+	}
+	images := map[storage.PageID][]byte{}
+	tr.Checkpoint(func(id storage.PageID, img []byte) {
+		images[id] = append([]byte(nil), img...)
+	})
+	loaded, err := Load(Config{Order: 6}, tr.RootID(), func(id storage.PageID) []byte { return images[id] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != tr.Size() || loaded.Height() != tr.Height() {
+		t.Fatalf("loaded size=%d height=%d, want %d/%d", loaded.Size(), loaded.Height(), tr.Size(), tr.Height())
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want, wantOK := tr.Get(key(i), nil)
+		got, gotOK := loaded.Get(key(i), nil)
+		if wantOK != gotOK || !bytes.Equal(want, got) {
+			t.Fatalf("key %d diverged after load", i)
+		}
+	}
+	// The loaded tree must remain fully functional.
+	loaded.Put(key(n+1), val(n+1), nil)
+	if _, ok := loaded.Get(key(n+1), nil); !ok {
+		t.Fatal("insert into loaded tree failed")
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissingPage(t *testing.T) {
+	_, err := Load(Config{Order: 6}, 42, func(id storage.PageID) []byte { return nil })
+	if err == nil {
+		t.Fatal("expected error for missing image")
+	}
+}
+
+// TestPropertyAgainstMapOracle drives random operation sequences against a
+// map and validates structure after every batch.
+func TestPropertyAgainstMapOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(func(seed uint64, orderSel uint8) bool {
+		r := sim.NewRand(seed)
+		order := 4 + int(orderSel%12)
+		tr := sized(order)
+		oracle := map[string]string{}
+		for step := 0; step < 800; step++ {
+			k := key(r.Intn(200))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := val(r.Intn(1000))
+				tr.Put(k, v, nil)
+				oracle[string(k)] = string(v)
+			case 2:
+				_, treeOK := tr.Delete(k, nil)
+				_, oracleOK := oracle[string(k)]
+				if treeOK != oracleOK {
+					return false
+				}
+				delete(oracle, string(k))
+			}
+		}
+		if tr.Size() != len(oracle) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get([]byte(k), nil)
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		// Scan must agree with the oracle's sorted key count.
+		count := 0
+		tr.Scan(nil, nil, nil, func(k, v []byte) bool { count++; return true })
+		return count == len(oracle)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCheckpointEquivalence: load(checkpoint(T)) behaves as T.
+func TestPropertyCheckpointEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		tr := sized(4 + r.Intn(8))
+		for i := 0; i < 300; i++ {
+			tr.Put(key(r.Intn(150)), val(r.Intn(100)), nil)
+			if r.Bool(0.3) {
+				tr.Delete(key(r.Intn(150)), nil)
+			}
+		}
+		images := map[storage.PageID][]byte{}
+		tr.Checkpoint(func(id storage.PageID, img []byte) { images[id] = img })
+		loaded, err := Load(Config{Order: tr.Order()}, tr.RootID(), func(id storage.PageID) []byte { return images[id] })
+		if err != nil {
+			return false
+		}
+		if loaded.Validate() != nil || loaded.Size() != tr.Size() {
+			return false
+		}
+		ok := true
+		tr.Scan(nil, nil, nil, func(k, v []byte) bool {
+			got, found := loaded.Get(k, nil)
+			if !found || !bytes.Equal(got, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New(Config{})
+	for i := 0; i < 100000; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+	r := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(r.Intn(100000)), nil)
+	}
+}
+
+func BenchmarkTreePut(b *testing.B) {
+	tr := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), val(i), nil)
+	}
+}

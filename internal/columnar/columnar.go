@@ -1,0 +1,145 @@
+// Package columnar implements the FPGA-side columnar base store of
+// Figure 4: the durable, scan-friendly home of table data that the overlay
+// (§5.6) bulk-merges into and the enhanced scanner filters. Columns are
+// typed arrays in SG-DRAM address space; the store is append/replace
+// oriented — point reads and writes go through the overlay, not here.
+package columnar
+
+import (
+	"fmt"
+
+	"bionicdb/internal/platform"
+)
+
+// ColumnKind is a column's physical type.
+type ColumnKind uint8
+
+// Column kinds.
+const (
+	KindUint64 ColumnKind = iota + 1
+	KindBytes
+)
+
+// Column is one typed column.
+type Column struct {
+	Name string
+	Kind ColumnKind
+	U64  []uint64
+	Byt  [][]byte
+	addr uint64
+}
+
+// Addr returns the column's SG-DRAM base address.
+func (c *Column) Addr() uint64 { return c.addr }
+
+// Width returns the average encoded width of one value in bytes.
+func (c *Column) Width() int {
+	if c.Kind == KindUint64 {
+		return 8
+	}
+	if len(c.Byt) == 0 {
+		return 16
+	}
+	total := 0
+	for _, b := range c.Byt {
+		total += len(b) + 2
+	}
+	return total / len(c.Byt)
+}
+
+// Table is a columnar table: parallel columns keyed by a dense row index,
+// plus a primary-key column for merge matching.
+type Table struct {
+	Name   string
+	cols   []*Column
+	byName map[string]*Column
+	keyIdx map[uint64]int // primary key -> row position
+	rows   int
+	pl     *platform.Platform
+}
+
+// NewTable creates an empty columnar table. The first column must be the
+// uint64 primary key.
+func NewTable(pl *platform.Platform, name string, cols ...*Column) *Table {
+	if len(cols) == 0 || cols[0].Kind != KindUint64 {
+		panic("columnar: first column must be the uint64 primary key")
+	}
+	t := &Table{Name: name, cols: cols, byName: make(map[string]*Column), keyIdx: make(map[uint64]int), pl: pl}
+	for _, c := range cols {
+		if _, dup := t.byName[c.Name]; dup {
+			panic(fmt.Sprintf("columnar: duplicate column %q", c.Name))
+		}
+		t.byName[c.Name] = c
+		c.addr = pl.AllocFPGA(1 << 20)
+	}
+	return t
+}
+
+// U64Col declares a uint64 column.
+func U64Col(name string) *Column { return &Column{Name: name, Kind: KindUint64} }
+
+// BytesCol declares a variable-width column.
+func BytesCol(name string) *Column { return &Column{Name: name, Kind: KindBytes} }
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Columns returns the schema in declaration order.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column { return t.byName[name] }
+
+// RowWidth returns the average encoded row width, for scan sizing.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.cols {
+		w += c.Width()
+	}
+	return w
+}
+
+// Upsert merges one row by primary key: existing rows are replaced in
+// place, new rows appended. vals must match the schema minus the key.
+// Upsert is the overlay's bulk-merge entry point; it charges no simulated
+// time itself (the merge daemon charges device transfers for the batch).
+func (t *Table) Upsert(key uint64, vals ...any) {
+	pos, exists := t.keyIdx[key]
+	if !exists {
+		pos = t.rows
+		t.rows++
+		t.keyIdx[key] = pos
+		t.cols[0].U64 = append(t.cols[0].U64, key)
+		for _, c := range t.cols[1:] {
+			if c.Kind == KindUint64 {
+				c.U64 = append(c.U64, 0)
+			} else {
+				c.Byt = append(c.Byt, nil)
+			}
+		}
+	}
+	if len(vals) != len(t.cols)-1 {
+		panic(fmt.Sprintf("columnar: %s: %d values for %d non-key columns", t.Name, len(vals), len(t.cols)-1))
+	}
+	for i, v := range vals {
+		c := t.cols[i+1]
+		switch c.Kind {
+		case KindUint64:
+			c.U64[pos] = v.(uint64)
+		case KindBytes:
+			c.Byt[pos] = v.([]byte)
+		}
+	}
+}
+
+// Get returns the row position for a primary key.
+func (t *Table) Get(key uint64) (pos int, ok bool) {
+	pos, ok = t.keyIdx[key]
+	return pos, ok
+}
+
+// U64At reads a uint64 cell.
+func (t *Table) U64At(col string, pos int) uint64 { return t.byName[col].U64[pos] }
+
+// BytesAt reads a variable-width cell.
+func (t *Table) BytesAt(col string, pos int) []byte { return t.byName[col].Byt[pos] }

@@ -1,0 +1,83 @@
+package columnar
+
+import (
+	"bytes"
+	"testing"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+)
+
+func fixture() (*platform.Platform, *Table) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	t := NewTable(pl, "t", U64Col("id"), U64Col("qty"), BytesCol("name"))
+	return pl, t
+}
+
+func TestUpsertAppendAndReplace(t *testing.T) {
+	_, tbl := fixture()
+	tbl.Upsert(1, uint64(10), []byte("a"))
+	tbl.Upsert(2, uint64(20), []byte("b"))
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows=%d", tbl.Rows())
+	}
+	tbl.Upsert(1, uint64(99), []byte("z"))
+	if tbl.Rows() != 2 {
+		t.Fatalf("replace grew table: %d", tbl.Rows())
+	}
+	pos, ok := tbl.Get(1)
+	if !ok || tbl.U64At("qty", pos) != 99 || !bytes.Equal(tbl.BytesAt("name", pos), []byte("z")) {
+		t.Fatal("replace did not land")
+	}
+	if _, ok := tbl.Get(42); ok {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestColumnsAddressedInFPGASpace(t *testing.T) {
+	_, tbl := fixture()
+	for _, c := range tbl.Columns() {
+		if !platform.IsFPGAAddr(c.Addr()) {
+			t.Fatalf("column %s not in FPGA address space", c.Name)
+		}
+	}
+}
+
+func TestWidths(t *testing.T) {
+	_, tbl := fixture()
+	if tbl.Column("id").Width() != 8 {
+		t.Fatal("u64 width")
+	}
+	if w := tbl.Column("name").Width(); w != 16 { // empty column default
+		t.Fatalf("empty bytes width %d", w)
+	}
+	tbl.Upsert(1, uint64(1), []byte("abcd"))
+	if w := tbl.Column("name").Width(); w != 6 {
+		t.Fatalf("bytes width %d", w)
+	}
+	if tbl.RowWidth() != 8+8+6 {
+		t.Fatalf("row width %d", tbl.RowWidth())
+	}
+}
+
+func TestBadUpsertArityPanics(t *testing.T) {
+	_, tbl := fixture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.Upsert(1, uint64(1)) // missing name column
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable(pl, "bad", U64Col("x"), U64Col("x"))
+}

@@ -1,0 +1,85 @@
+// Package core composes the substrates into the three engines the
+// experiments compare: Conventional (shared-everything 2PL), DORA (the
+// Figure 3 software baseline) and Bionic (DORA plus any subset of the
+// paper's four hardware offloads), together with the workload harness that
+// produces throughput, joules/transaction, latency and Figure 3 component
+// breakdowns from one run.
+package core
+
+// TableDef declares one table: an index-organized primary B+Tree. Secondary
+// indexes are ordinary tables whose values are primary keys.
+type TableDef struct {
+	ID    uint16
+	Name  string
+	Order int // B+Tree order; 0 uses the btree default
+}
+
+// PartitionScheme tells the DORA engines how to route and isolate work.
+// Workloads provide one (TATP partitions by subscriber, TPC-C by
+// warehouse).
+type PartitionScheme struct {
+	// Partitions is the number of logical partitions (one worker each).
+	Partitions int
+	// Route maps a table and key to a partition in [0, Partitions).
+	Route func(table uint16, key []byte) int
+	// Entity names the local-lock entity for a key ("" = no entity lock).
+	// Entities are the DORA isolation granule: the district in TPC-C, the
+	// subscriber in TATP.
+	Entity func(table uint16, key []byte) string
+}
+
+// HashScheme returns a generic scheme: route by hash of the first eight key
+// bytes, entity = whole key. Workload-specific schemes colocate related
+// rows instead.
+func HashScheme(n int) PartitionScheme {
+	return PartitionScheme{
+		Partitions: n,
+		Route: func(table uint16, key []byte) int {
+			var h uint64 = 14695981039346656037
+			for i := 0; i < len(key) && i < 8; i++ {
+				h ^= uint64(key[i])
+				h *= 1099511628211
+			}
+			return int(h % uint64(n))
+		},
+		Entity: func(table uint16, key []byte) string {
+			return string(key)
+		},
+	}
+}
+
+// Offloads selects which hardware units a Bionic engine uses; the zero
+// value is pure software (the DORA baseline). The C2 ablation sweeps these.
+type Offloads struct {
+	Tree    bool // §5.3 hardware tree-probe engine
+	Log     bool // §5.4 hardware log insertion
+	Queue   bool // §5.5 hardware queue management
+	Overlay bool // §5.6 overlay database instead of the buffer pool
+}
+
+// All returns every offload enabled — the full bionic configuration.
+func AllOffloads() Offloads { return Offloads{Tree: true, Log: true, Queue: true, Overlay: true} }
+
+// Any reports whether at least one offload is enabled.
+func (o Offloads) Any() bool { return o.Tree || o.Log || o.Queue || o.Overlay }
+
+// String names the configuration for tables and ablation rows.
+func (o Offloads) String() string {
+	if !o.Any() {
+		return "none"
+	}
+	s := ""
+	add := func(on bool, name string) {
+		if on {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(o.Tree, "tree")
+	add(o.Log, "log")
+	add(o.Queue, "queue")
+	add(o.Overlay, "overlay")
+	return s
+}

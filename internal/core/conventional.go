@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+
+	"bionicdb/internal/btree"
+	"bionicdb/internal/bufferpool"
+	"bionicdb/internal/lockmgr"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/storage"
+	"bionicdb/internal/txn"
+	"bionicdb/internal/wal"
+)
+
+// Conventional is the shared-everything 2PL baseline: every worker may touch
+// any datum, so every access pays the full tax the paper's §5.1 enumerates —
+// hierarchical locks, page latches, buffer-pool fixes, and a centrally
+// latched log.
+type Conventional struct {
+	pl     *platform.Platform
+	defs   map[uint16]TableDef
+	trees  map[uint16]*btree.Tree
+	pool   *bufferpool.Pool
+	lm     *lockmgr.Manager
+	tm     *txn.Manager
+	logMgr *wal.Manager
+	store  *wal.Store
+	dm     *storage.DiskManager
+
+	// latches are page-latch stripes; conventional probes latch every node
+	// they visit (crabbing approximated by striped latches).
+	latches []*sim.Resource
+
+	bd  *stats.Breakdown
+	ctr *stats.Counter
+}
+
+const latchStripes = 64
+
+// NewConventional builds the baseline engine on a fresh platform.
+func NewConventional(env *sim.Env, cfg *platform.Config, tables []TableDef) *Conventional {
+	pl := platform.New(env, cfg)
+	e := &Conventional{
+		pl:    pl,
+		defs:  make(map[uint16]TableDef),
+		trees: make(map[uint16]*btree.Tree),
+		bd:    &stats.Breakdown{},
+		ctr:   stats.NewCounter(),
+	}
+	e.dm = storage.NewDiskManager(pl.Disk, cfg.PageSize)
+	e.pool = bufferpool.New(pl, pl.Disk, bufferpool.DefaultConfig(1<<18, cfg.PageSize))
+	e.lm = lockmgr.New(pl, lockmgr.DefaultConfig())
+	e.store = wal.NewStore(pl.SSD)
+	e.logMgr = wal.NewManager(pl, e.store, wal.DefaultManagerConfig())
+	e.tm = txn.NewManager(env, e.logMgr, txn.DefaultConfig())
+	for i := 0; i < latchStripes; i++ {
+		e.latches = append(e.latches, sim.NewResource(env, fmt.Sprintf("page-latch-%d", i), 1))
+	}
+	for _, def := range tables {
+		def := def
+		e.defs[def.ID] = def
+		e.trees[def.ID] = btree.New(btree.Config{
+			Order:  def.Order,
+			NextID: e.dm.Allocate,
+			AddrOf: func(id storage.PageID, size int) uint64 { return pl.AllocHost(cfg.PageSize) },
+		})
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *Conventional) Name() string { return "conventional" }
+
+// Platform implements Engine.
+func (e *Conventional) Platform() *platform.Platform { return e.pl }
+
+// Breakdown implements Engine.
+func (e *Conventional) Breakdown() *stats.Breakdown { return e.bd }
+
+// Counters implements Engine.
+func (e *Conventional) Counters() *stats.Counter { return e.ctr }
+
+// Load implements Engine (population path: no timing, no logging).
+func (e *Conventional) Load(table uint16, key, val []byte) {
+	e.trees[table].Put(key, val, nil)
+}
+
+// ReadRaw implements Engine.
+func (e *Conventional) ReadRaw(table uint16, key []byte) ([]byte, bool) {
+	return e.trees[table].Get(key, nil)
+}
+
+// ScanRaw implements Engine.
+func (e *Conventional) ScanRaw(table uint16, from, to []byte, fn func(k, v []byte) bool) {
+	e.trees[table].Scan(from, to, nil, fn)
+}
+
+// Tables exposes the primary trees for checkpointing.
+func (e *Conventional) Tables() map[uint16]*btree.Tree { return e.trees }
+
+// Warm marks every tree page buffer-pool resident, as a production system
+// would be after its working set is faulted in. The harness calls it after
+// population so measurements start from a warm cache.
+func (e *Conventional) Warm() {
+	for _, tree := range e.trees {
+		tree.Pages(func(id storage.PageID, leaf bool) { e.pool.Prewarm(id) })
+	}
+}
+
+// DiskManager exposes the checkpoint page store.
+func (e *Conventional) DiskManager() *storage.DiskManager { return e.dm }
+
+// LogStore exposes the durable log for recovery.
+func (e *Conventional) LogStore() *wal.Store { return e.store }
+
+// Close implements Engine.
+func (e *Conventional) Close() { e.logMgr.Stop() }
+
+// Submit implements Engine.
+func (e *Conventional) Submit(term *Terminal, logic TxnLogic) bool {
+	for attempt := 0; ; attempt++ {
+		task := e.pl.NewTask(term.P, term.Core, e.bd)
+		task.Exec(stats.CompFrontEnd, frontEndInstr)
+		tx := e.tm.Begin(task)
+		ctx := &convCtx{e: e, task: task, tx: tx}
+		ok := logic(&convTx{ctx: ctx})
+		if ctx.err != nil {
+			// Engine-induced abort (deadlock victim): roll back and retry.
+			e.rollback(task, ctx)
+			e.ctr.Inc("aborts.deadlock", 1)
+			if attempt < maxRetries {
+				continue
+			}
+			e.ctr.Inc("aborts.giveup", 1)
+			return false
+		}
+		if !ok {
+			e.rollback(task, ctx)
+			e.ctr.Inc("aborts.user", 1)
+			return false
+		}
+		sig := e.tm.Commit(task, tx)
+		task.Flush()
+		// Strict 2PL with early lock release at commit-record append; the
+		// group-commit wait happens without locks held.
+		e.lm.ReleaseAll(task, tx.ID)
+		task.Flush()
+		sig.Await(term.P)
+		e.ctr.Inc("commits", 1)
+		return true
+	}
+}
+
+func (e *Conventional) rollback(task *platform.Task, ctx *convCtx) {
+	e.tm.Abort(task, ctx.tx, func(u txn.UndoRec) {
+		e.applyUndoRaw(task, u)
+	})
+	e.lm.ReleaseAll(task, ctx.tx.ID)
+	task.Flush()
+}
+
+// applyUndoRaw reverses one operation without logging (runtime rollback;
+// the abort record covers recovery). X locks are still held.
+func (e *Conventional) applyUndoRaw(task *platform.Task, u txn.UndoRec) {
+	tree := e.trees[u.Table]
+	var tr btree.Trace
+	switch u.Type {
+	case wal.RecInsert:
+		tree.Delete(u.Key, &tr)
+	case wal.RecUpdate, wal.RecDelete:
+		tree.Put(u.Key, u.Before, &tr)
+	}
+	e.chargeVisits(task, &tr, true)
+}
+
+// chargeVisits converts a tree trace into the conventional cost model: a
+// page latch, a buffer-pool fix, the node's cache-modelled access and the
+// binary-search instructions per visited node, plus software split costs.
+func (e *Conventional) chargeVisits(task *platform.Task, tr *btree.Trace, write bool) {
+	for _, v := range tr.Visits {
+		latch := e.latches[uint64(v.ID)%latchStripes]
+		task.Exec(stats.CompBtree, 60) // latch acquire/release pair
+		task.Flush()
+		latch.Acquire(task.P)
+		e.pool.Fix(task, v.ID)
+		task.Access(stats.CompBtree, v.Addr, 64)
+		for i := 1; i < (v.Cmps+1)/2; i++ {
+			task.Access(stats.CompBtree, v.Addr+uint64(64*i), 16)
+		}
+		task.Exec(stats.CompBtree, 60+14*v.Cmps)
+		if v.Leaf {
+			// Record locate/copy and slot bookkeeping at the leaf.
+			task.Exec(stats.CompBtree, 110)
+		}
+		e.pool.Unfix(task, v.ID, write && v.Leaf)
+		task.Flush()
+		latch.Release()
+	}
+	for _, id := range tr.NewPages {
+		// Pages born by splits enter the pool without I/O.
+		e.pool.Prewarm(id)
+	}
+	if tr.Splits > 0 {
+		task.Exec(stats.CompBtree, 1500*tr.Splits)
+	}
+	if tr.Merges+tr.Borrows > 0 {
+		task.Exec(stats.CompBtree, 900*(tr.Merges+tr.Borrows))
+	}
+}
+
+// convTx adapts the conventional engine to the Tx interface: phases run
+// sequentially in the caller's process.
+type convTx struct {
+	ctx *convCtx
+}
+
+// Phase implements Tx.
+func (t *convTx) Phase(actions ...Action) bool {
+	for _, a := range actions {
+		if t.ctx.err != nil {
+			return false
+		}
+		if !a.Body(t.ctx) {
+			return false
+		}
+	}
+	return t.ctx.err == nil
+}
+
+// convCtx is the conventional AccessCtx: hierarchical 2PL plus latched,
+// buffer-pooled probes.
+type convCtx struct {
+	e    *Conventional
+	task *platform.Task
+	tx   *txn.Txn
+	err  error
+}
+
+func (c *convCtx) lock(table uint16, key []byte, tableMode, rowMode lockmgr.Mode) bool {
+	if c.err != nil {
+		return false
+	}
+	if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.TableLock(table), tableMode); err != nil {
+		c.err = err
+		return false
+	}
+	if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.RowLock(table, key), rowMode); err != nil {
+		c.err = err
+		return false
+	}
+	return true
+}
+
+// Read implements AccessCtx.
+func (c *convCtx) Read(table uint16, key []byte) ([]byte, bool) {
+	if !c.lock(table, key, lockmgr.IS, lockmgr.S) {
+		return nil, false
+	}
+	var tr btree.Trace
+	val, ok := c.e.trees[table].Get(key, &tr)
+	c.e.chargeVisits(c.task, &tr, false)
+	return val, ok
+}
+
+// Update implements AccessCtx.
+func (c *convCtx) Update(table uint16, key, val []byte) bool {
+	if !c.lock(table, key, lockmgr.IX, lockmgr.X) {
+		return false
+	}
+	var tr btree.Trace
+	prev, existed := c.e.trees[table].Put(key, val, &tr)
+	c.e.chargeVisits(c.task, &tr, true)
+	if !existed {
+		c.e.trees[table].Delete(key, nil) // undo accidental insert
+		return false
+	}
+	c.e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
+	return true
+}
+
+// Insert implements AccessCtx.
+func (c *convCtx) Insert(table uint16, key, val []byte) bool {
+	if !c.lock(table, key, lockmgr.IX, lockmgr.X) {
+		return false
+	}
+	var tr btree.Trace
+	prev, existed := c.e.trees[table].Put(key, val, &tr)
+	c.e.chargeVisits(c.task, &tr, true)
+	if existed {
+		c.e.trees[table].Put(key, prev, nil) // restore
+		return false
+	}
+	c.e.tm.LogInsert(c.task, c.tx, table, key, val)
+	return true
+}
+
+// Delete implements AccessCtx.
+func (c *convCtx) Delete(table uint16, key []byte) bool {
+	if !c.lock(table, key, lockmgr.IX, lockmgr.X) {
+		return false
+	}
+	var tr btree.Trace
+	val, ok := c.e.trees[table].Delete(key, &tr)
+	c.e.chargeVisits(c.task, &tr, true)
+	if !ok {
+		return false
+	}
+	c.e.tm.LogDelete(c.task, c.tx, table, key, val)
+	return true
+}
+
+// Scan implements AccessCtx: results are materialized first (the iterator
+// must not observe concurrent splits while this process parks on locks),
+// then row locks and charges are applied.
+func (c *convCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool) {
+	if c.err != nil {
+		return
+	}
+	if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.TableLock(table), lockmgr.IS); err != nil {
+		c.err = err
+		return
+	}
+	var tr btree.Trace
+	type kv struct{ k, v []byte }
+	var rows []kv
+	c.e.trees[table].Scan(from, to, &tr, func(k, v []byte) bool {
+		rows = append(rows, kv{k, v})
+		return true
+	})
+	c.e.chargeVisits(c.task, &tr, false)
+	for _, r := range rows {
+		if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.RowLock(table, r.k), lockmgr.S); err != nil {
+			c.err = err
+			return
+		}
+		c.task.Exec(stats.CompBtree, 20)
+		if !fn(r.k, r.v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"bionicdb/internal/btree"
+	"bionicdb/internal/bufferpool"
+	"bionicdb/internal/dora"
+	"bionicdb/internal/hw/logengine"
+	"bionicdb/internal/hw/overlay"
+	"bionicdb/internal/hw/queueengine"
+	"bionicdb/internal/hw/treeprobe"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/storage"
+	"bionicdb/internal/txn"
+	"bionicdb/internal/wal"
+)
+
+// DORAEngine is the data-oriented engine: logical partitions, per-partition
+// workers, RVPs, entity locks. With no offloads it is the Figure 3 software
+// baseline; Offloads layer the paper's hardware units on top, turning it
+// into the bionic engine of Figure 4.
+type DORAEngine struct {
+	name   string
+	pl     *platform.Platform
+	defs   map[uint16]TableDef
+	scheme PartitionScheme
+	off    Offloads
+	window int
+
+	// Software data path (Overlay off).
+	trees map[uint16]*btree.Tree
+	pool  *bufferpool.Pool
+
+	// Hardware data path (Overlay on).
+	ov    *overlay.Store
+	probe *treeprobe.Engine
+
+	qeng *queueengine.Engine
+
+	reg   *dora.Registry
+	parts []*dora.Partition
+
+	tm     *txn.Manager
+	log    wal.Appender
+	logMgr *wal.Manager      // non-nil when Log offload is off
+	hwLog  *logengine.Engine // non-nil when Log offload is on
+	store  *wal.Store
+	dm     *storage.DiskManager
+
+	bd  *stats.Breakdown
+	ctr *stats.Counter
+}
+
+// NewDORA builds the software data-oriented baseline (window 1, no
+// offloads).
+func NewDORA(env *sim.Env, cfg *platform.Config, tables []TableDef, scheme PartitionScheme) *DORAEngine {
+	return newDataOriented(env, cfg, tables, scheme, Offloads{}, 1, "dora")
+}
+
+// NewBionic builds the bionic engine: DORA plus the selected hardware
+// offloads and an in-flight window per partition so asynchronous hardware
+// requests overlap.
+func NewBionic(env *sim.Env, cfg *platform.Config, tables []TableDef, scheme PartitionScheme, off Offloads, window int) *DORAEngine {
+	name := "bionic[" + off.String() + "]"
+	if window < 1 {
+		window = 8
+	}
+	return newDataOriented(env, cfg, tables, scheme, off, window, name)
+}
+
+func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, scheme PartitionScheme, off Offloads, window int, name string) *DORAEngine {
+	pl := platform.New(env, cfg)
+	e := &DORAEngine{
+		name:   name,
+		pl:     pl,
+		defs:   make(map[uint16]TableDef),
+		scheme: scheme,
+		off:    off,
+		window: window,
+		reg:    dora.NewRegistry(),
+		bd:     &stats.Breakdown{},
+		ctr:    stats.NewCounter(),
+	}
+	e.dm = storage.NewDiskManager(pl.Disk, cfg.PageSize)
+	e.store = wal.NewStore(pl.SSD)
+	if off.Log {
+		e.hwLog = logengine.New(pl, e.store, logengine.DefaultConfig())
+		e.log = e.hwLog
+	} else {
+		e.logMgr = wal.NewManager(pl, e.store, wal.DefaultManagerConfig())
+		e.log = e.logMgr
+	}
+	e.tm = txn.NewManager(env, e.log, txn.DefaultConfig())
+
+	if off.Overlay || off.Tree {
+		e.probe = treeprobe.New(pl, treeprobe.DefaultConfig())
+	}
+	if off.Overlay {
+		e.ov = overlay.New(pl, e.probe, overlay.DefaultConfig())
+		for _, def := range tables {
+			e.defs[def.ID] = def
+			e.ov.CreateTable(def.ID, def.Order)
+		}
+	} else {
+		e.pool = bufferpool.New(pl, pl.Disk, bufferpool.DefaultConfig(1<<18, cfg.PageSize))
+		e.trees = make(map[uint16]*btree.Tree)
+		for _, def := range tables {
+			def := def
+			e.defs[def.ID] = def
+			e.trees[def.ID] = btree.New(btree.Config{
+				Order:  def.Order,
+				NextID: e.dm.Allocate,
+				AddrOf: func(id storage.PageID, size int) uint64 { return pl.AllocHost(cfg.PageSize) },
+			})
+		}
+	}
+
+	if off.Queue {
+		e.qeng = queueengine.New(pl, queueengine.DefaultConfig())
+	}
+	for i := 0; i < scheme.Partitions; i++ {
+		pt := dora.NewPartition(pl, e.reg, i, pl.Cores[i%len(pl.Cores)], dora.DefaultCosts(), window, e.bd)
+		if e.qeng != nil {
+			pt.HWQueue = e.qeng.Unit
+			pt.HWQueueCycles = e.qeng.OpCycles()
+		}
+		pt.Start()
+		e.parts = append(e.parts, pt)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *DORAEngine) Name() string { return e.name }
+
+// Platform implements Engine.
+func (e *DORAEngine) Platform() *platform.Platform { return e.pl }
+
+// Breakdown implements Engine.
+func (e *DORAEngine) Breakdown() *stats.Breakdown { return e.bd }
+
+// Counters implements Engine.
+func (e *DORAEngine) Counters() *stats.Counter { return e.ctr }
+
+// Offloads reports the enabled hardware units.
+func (e *DORAEngine) Offloads() Offloads { return e.off }
+
+// Overlay exposes the overlay store (nil when the offload is off).
+func (e *DORAEngine) Overlay() *overlay.Store { return e.ov }
+
+// ProbeEngine exposes the tree-probe unit (nil when unused).
+func (e *DORAEngine) ProbeEngine() *treeprobe.Engine { return e.probe }
+
+// LogStore exposes the durable log for recovery.
+func (e *DORAEngine) LogStore() *wal.Store { return e.store }
+
+// DiskManager exposes the checkpoint page store.
+func (e *DORAEngine) DiskManager() *storage.DiskManager { return e.dm }
+
+// Tables exposes the primary trees for checkpointing (overlay or host).
+func (e *DORAEngine) Tables() map[uint16]*btree.Tree {
+	if e.ov == nil {
+		return e.trees
+	}
+	out := make(map[uint16]*btree.Tree, len(e.defs))
+	for id := range e.defs {
+		out[id] = e.ov.TableByID(id).Tree
+	}
+	return out
+}
+
+// Registry exposes the waits-for registry (deadlock statistics).
+func (e *DORAEngine) Registry() *dora.Registry { return e.reg }
+
+// Warm marks every tree page buffer-pool resident (software data path; the
+// overlay is resident by construction). The harness calls it after
+// population so measurements start from a warm cache.
+func (e *DORAEngine) Warm() {
+	if e.pool == nil {
+		return
+	}
+	for _, tree := range e.trees {
+		tree.Pages(func(id storage.PageID, leaf bool) { e.pool.Prewarm(id) })
+	}
+}
+
+// Load implements Engine.
+func (e *DORAEngine) Load(table uint16, key, val []byte) {
+	if e.ov != nil {
+		e.ov.LoadRaw(table, key, val)
+		return
+	}
+	e.trees[table].Put(key, val, nil)
+}
+
+// ReadRaw implements Engine.
+func (e *DORAEngine) ReadRaw(table uint16, key []byte) ([]byte, bool) {
+	return e.Tables()[table].Get(key, nil)
+}
+
+// ScanRaw implements Engine.
+func (e *DORAEngine) ScanRaw(table uint16, from, to []byte, fn func(k, v []byte) bool) {
+	e.Tables()[table].Scan(from, to, nil, fn)
+}
+
+// Close implements Engine.
+func (e *DORAEngine) Close() {
+	for _, pt := range e.parts {
+		pt.Close()
+	}
+	if e.logMgr != nil {
+		e.logMgr.Stop()
+	}
+	if e.hwLog != nil {
+		e.hwLog.Stop()
+	}
+	if e.ov != nil {
+		e.ov.Stop()
+	}
+}
+
+// Submit implements Engine.
+func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
+	for attempt := 0; ; attempt++ {
+		task := e.pl.NewTask(term.P, term.Core, e.bd)
+		task.Exec(stats.CompFrontEnd, frontEndInstr)
+		tx := e.tm.Begin(task)
+		dtx := &doraTx{e: e, task: task, tx: tx, term: term, involved: map[int]bool{}}
+		ok := logic(dtx)
+		if dtx.refused {
+			e.rollback(term, task, dtx)
+			e.ctr.Inc("aborts.deadlock", 1)
+			if attempt < maxRetries {
+				continue
+			}
+			e.ctr.Inc("aborts.giveup", 1)
+			return false
+		}
+		if !ok {
+			e.rollback(term, task, dtx)
+			e.ctr.Inc("aborts.user", 1)
+			return false
+		}
+		sig := e.tm.Commit(task, tx)
+		task.Flush()
+		e.releaseLocks(task, dtx)
+		sig.Await(term.P)
+		e.ctr.Inc("commits", 1)
+		return true
+	}
+}
+
+// rollback routes undo records back to their owning partitions (reverse
+// order within each), appends the abort record, and releases entity locks.
+func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) {
+	undo := dtx.tx.Undo
+	if len(undo) > 0 {
+		groups := make(map[int][]txn.UndoRec)
+		for i := len(undo) - 1; i >= 0; i-- {
+			u := undo[i]
+			pidx := e.scheme.Route(u.Table, u.Key)
+			groups[pidx] = append(groups[pidx], u)
+		}
+		rvp := dora.NewRVP(e.pl.Env, len(groups))
+		for pidx, recs := range groups {
+			recs := recs
+			e.parts[pidx].Enqueue(task, &dora.Action{TxnID: dtx.tx.ID, Priority: true, RVP: rvp, Run: func(wt *platform.Task, pt *dora.Partition) bool {
+				for _, u := range recs {
+					e.applyUndoRaw(wt, u)
+				}
+				return true
+			}})
+		}
+		task.Flush()
+		rvp.Await(term.P)
+	}
+	e.tm.Abort(task, dtx.tx, func(u txn.UndoRec) {}) // undo already applied above
+	task.Flush()
+	e.releaseLocks(task, dtx)
+}
+
+// releaseLocks sends fire-and-forget release actions to every involved
+// partition.
+func (e *DORAEngine) releaseLocks(task *platform.Task, dtx *doraTx) {
+	txnID := dtx.tx.ID
+	for pidx := range dtx.involved {
+		rvp := dora.NewRVP(e.pl.Env, 1)
+		e.parts[pidx].Enqueue(task, &dora.Action{TxnID: txnID, Priority: true, RVP: rvp, Run: func(wt *platform.Task, pt *dora.Partition) bool {
+			pt.ReleaseLocks(wt, txnID)
+			return true
+		}})
+	}
+	task.Flush()
+}
+
+// applyUndoRaw reverses one operation without logging, charged on the
+// partition worker.
+func (e *DORAEngine) applyUndoRaw(task *platform.Task, u txn.UndoRec) {
+	if e.ov != nil {
+		switch u.Type {
+		case wal.RecInsert:
+			e.ov.Delete(task, u.Table, u.Key)
+		case wal.RecUpdate, wal.RecDelete:
+			e.ov.Put(task, u.Table, u.Key, u.Before)
+		}
+		return
+	}
+	tree := e.trees[u.Table]
+	var tr btree.Trace
+	switch u.Type {
+	case wal.RecInsert:
+		tree.Delete(u.Key, &tr)
+	case wal.RecUpdate, wal.RecDelete:
+		tree.Put(u.Key, u.Before, &tr)
+	}
+	e.chargeVisits(task, &tr, true)
+}
+
+// chargeVisits is the software data path (no page latches — PLP): a
+// buffer-pool fix plus the node search per visit. A binary search over a
+// wide node touches several cache lines, one per probe pair.
+func (e *DORAEngine) chargeVisits(task *platform.Task, tr *btree.Trace, write bool) {
+	for _, v := range tr.Visits {
+		e.pool.Fix(task, v.ID)
+		task.Access(stats.CompBtree, v.Addr, 64)
+		for i := 1; i < (v.Cmps+1)/2; i++ {
+			task.Access(stats.CompBtree, v.Addr+uint64(64*i), 16)
+		}
+		task.Exec(stats.CompBtree, 60+14*v.Cmps)
+		if v.Leaf {
+			// Record locate/copy and slot bookkeeping at the leaf.
+			task.Exec(stats.CompBtree, 110)
+		}
+		e.pool.Unfix(task, v.ID, write && v.Leaf)
+	}
+	for _, id := range tr.NewPages {
+		// Pages born by splits enter the pool without I/O.
+		e.pool.Prewarm(id)
+	}
+	if tr.Splits > 0 {
+		task.Exec(stats.CompBtree, 1500*tr.Splits)
+	}
+	if tr.Merges+tr.Borrows > 0 {
+		task.Exec(stats.CompBtree, 900*(tr.Merges+tr.Borrows))
+	}
+}
+
+// swProbeFPGA is the Tree-off/Overlay-on ablation read path: the CPU walks
+// a tree whose nodes live in SG-DRAM, paying a PCIe round trip per node —
+// the paper's warning that the units only pay off co-designed.
+func (e *DORAEngine) swProbeFPGA(task *platform.Task, tr *btree.Trace) {
+	for _, v := range tr.Visits {
+		task.Exec(stats.CompBtree, 40+8*v.Cmps)
+		task.Flush()
+		e.pl.PCIe.Transfer(task.P, 64)
+		e.pl.PCIe.Transfer(task.P, v.Bytes)
+	}
+}
+
+// hwProbeHost is the Tree-on/Overlay-off ablation read path: the probe
+// engine walks host-resident nodes, paying the PCIe NUMA penalty per node
+// instead of local SG-DRAM.
+func (e *DORAEngine) hwProbeHost(task *platform.Task, tr *btree.Trace) {
+	task.Exec(stats.CompBtree, 80)
+	task.Flush()
+	e.pl.PCIe.Transfer(task.P, 64)
+	for _, v := range tr.Visits {
+		e.pl.PCIe.Transfer(task.P, 64)
+		e.pl.PCIe.Transfer(task.P, v.Bytes)
+	}
+	e.pl.PCIe.Transfer(task.P, 64)
+	task.Exec(stats.CompBtree, 60)
+}
+
+// doraTx coordinates one transaction's phases from the terminal process.
+type doraTx struct {
+	e        *DORAEngine
+	task     *platform.Task
+	tx       *txn.Txn
+	term     *Terminal
+	involved map[int]bool
+	refused  bool
+}
+
+// Phase implements Tx: fan the actions out to their partitions and await
+// the rendezvous.
+func (t *doraTx) Phase(actions ...Action) bool {
+	if len(actions) == 0 {
+		return true
+	}
+	rvp := dora.NewRVP(t.e.pl.Env, len(actions))
+	das := make([]*dora.Action, len(actions))
+	for i, a := range actions {
+		pidx := t.e.scheme.Route(a.Table, a.Key)
+		t.involved[pidx] = true
+		body := a.Body
+		lockKey := ""
+		if !a.NoLock {
+			lockKey = t.e.scheme.Entity(a.Table, a.Key)
+		}
+		da := &dora.Action{
+			TxnID:   t.tx.ID,
+			LockKey: lockKey,
+			RVP:     rvp,
+			Run: func(wt *platform.Task, pt *dora.Partition) bool {
+				return body(&doraCtx{e: t.e, task: wt, tx: t.tx})
+			},
+		}
+		das[i] = da
+		t.e.parts[pidx].Enqueue(t.task, da)
+	}
+	t.task.Flush()
+	ok := rvp.Await(t.term.P)
+	if !ok {
+		for _, da := range das {
+			if da.Refused {
+				t.refused = true
+			}
+		}
+	}
+	return ok
+}
+
+// doraCtx is the partition-side AccessCtx. No hierarchical locks, no page
+// latches: isolation came from routing plus the entity lock already held.
+type doraCtx struct {
+	e    *DORAEngine
+	task *platform.Task
+	tx   *txn.Txn
+}
+
+// Read implements AccessCtx.
+func (c *doraCtx) Read(table uint16, key []byte) ([]byte, bool) {
+	e := c.e
+	switch {
+	case e.off.Overlay && e.off.Tree:
+		return e.ov.Get(c.task, table, key)
+	case e.off.Overlay:
+		var tr btree.Trace
+		val, ok := e.ov.TableByID(table).Tree.Get(key, &tr)
+		e.swProbeFPGA(c.task, &tr)
+		return val, ok
+	case e.off.Tree:
+		var tr btree.Trace
+		val, ok := e.trees[table].Get(key, &tr)
+		e.hwProbeHost(c.task, &tr)
+		return val, ok
+	default:
+		var tr btree.Trace
+		val, ok := e.trees[table].Get(key, &tr)
+		e.chargeVisits(c.task, &tr, false)
+		return val, ok
+	}
+}
+
+// Update implements AccessCtx.
+func (c *doraCtx) Update(table uint16, key, val []byte) bool {
+	e := c.e
+	if e.off.Overlay {
+		prev, existed := e.ov.Put(c.task, table, key, val)
+		if !existed {
+			e.ov.Delete(c.task, table, key)
+			return false
+		}
+		e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
+		return true
+	}
+	var tr btree.Trace
+	prev, existed := e.trees[table].Put(key, val, &tr)
+	e.chargeVisits(c.task, &tr, true)
+	if !existed {
+		e.trees[table].Delete(key, nil)
+		return false
+	}
+	e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
+	return true
+}
+
+// Insert implements AccessCtx.
+func (c *doraCtx) Insert(table uint16, key, val []byte) bool {
+	e := c.e
+	if e.off.Overlay {
+		prev, existed := e.ov.Put(c.task, table, key, val)
+		if existed {
+			e.ov.Put(c.task, table, key, prev)
+			return false
+		}
+		e.tm.LogInsert(c.task, c.tx, table, key, val)
+		return true
+	}
+	var tr btree.Trace
+	prev, existed := e.trees[table].Put(key, val, &tr)
+	e.chargeVisits(c.task, &tr, true)
+	if existed {
+		e.trees[table].Put(key, prev, nil)
+		return false
+	}
+	e.tm.LogInsert(c.task, c.tx, table, key, val)
+	return true
+}
+
+// Delete implements AccessCtx.
+func (c *doraCtx) Delete(table uint16, key []byte) bool {
+	e := c.e
+	if e.off.Overlay {
+		val, ok := e.ov.Delete(c.task, table, key)
+		if !ok {
+			return false
+		}
+		e.tm.LogDelete(c.task, c.tx, table, key, val)
+		return true
+	}
+	var tr btree.Trace
+	val, ok := e.trees[table].Delete(key, &tr)
+	e.chargeVisits(c.task, &tr, true)
+	if !ok {
+		return false
+	}
+	e.tm.LogDelete(c.task, c.tx, table, key, val)
+	return true
+}
+
+// Scan implements AccessCtx.
+func (c *doraCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool) {
+	e := c.e
+	if e.off.Overlay {
+		e.ov.ScanRange(c.task, table, from, to, fn)
+		return
+	}
+	var tr btree.Trace
+	type kv struct{ k, v []byte }
+	var rows []kv
+	e.trees[table].Scan(from, to, &tr, func(k, v []byte) bool {
+		rows = append(rows, kv{k, v})
+		return true
+	})
+	e.chargeVisits(c.task, &tr, false)
+	for _, r := range rows {
+		c.task.Exec(stats.CompBtree, 20)
+		if !fn(r.k, r.v) {
+			return
+		}
+	}
+}
+
+// Partitions exposes the partition set (diagnostics).
+func (e *DORAEngine) Partitions() []*dora.Partition { return e.parts }

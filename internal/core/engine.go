@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// AccessCtx is the data interface a transaction-action body programs
+// against. Every method charges the engine's cost model; mutating methods
+// write WAL records and register undo. Methods return false when the row
+// state prevents the operation (missing row, duplicate insert) — the body
+// decides whether that is a transaction abort.
+type AccessCtx interface {
+	// Read returns the row under key.
+	Read(table uint16, key []byte) (val []byte, ok bool)
+	// Update replaces an existing row; false if it does not exist.
+	Update(table uint16, key, val []byte) bool
+	// Insert adds a new row; false if the key already exists.
+	Insert(table uint16, key, val []byte) bool
+	// Delete removes a row; false if it does not exist.
+	Delete(table uint16, key []byte) bool
+	// Scan iterates rows with keys in [from, to); nil bounds are open.
+	Scan(table uint16, from, to []byte, fn func(key, val []byte) bool)
+}
+
+// Action is one partition-confined unit of a transaction: the routing key
+// decides the owning partition (DORA engines) and the entity lock; Body
+// runs on that partition with an engine-appropriate AccessCtx and returns
+// false to vote the transaction into abort.
+type Action struct {
+	Table uint16
+	Key   []byte
+	// NoLock skips the entity lock (relaxed-isolation reads like TPC-C
+	// StockLevel, which the spec allows to run read-committed).
+	NoLock bool
+	Body   func(c AccessCtx) bool
+}
+
+// Tx is the coordinator-side handle a transaction's logic drives.
+type Tx interface {
+	// Phase runs the actions (in parallel across partitions on the DORA
+	// engines, sequentially on the conventional engine) and reports
+	// whether all voted to continue. After a false Phase the logic must
+	// return false.
+	Phase(actions ...Action) bool
+}
+
+// TxnLogic is a transaction program: it issues phases and returns whether
+// to commit. Returning false rolls the transaction back (a user abort, as
+// in TATP's expected failure cases or TPC-C's 1% NewOrder rollbacks).
+type TxnLogic func(tx Tx) bool
+
+// Terminal is one closed-loop client: a simulated process with a home core
+// for its front-end work and a private random stream.
+type Terminal struct {
+	ID   int
+	P    *sim.Proc
+	Core *platform.Core
+	R    *sim.Rand
+}
+
+// Engine is a complete transaction processing system under one cost model.
+type Engine interface {
+	// Name identifies the engine in tables ("conventional", "dora",
+	// "bionic[...]").
+	Name() string
+	// Platform exposes the machine model for energy snapshots.
+	Platform() *platform.Platform
+	// Submit runs one transaction to completion from term: engine-induced
+	// aborts (deadlocks) are retried internally; user aborts are not.
+	// It returns whether the transaction finally committed (durably).
+	Submit(term *Terminal, logic TxnLogic) (committed bool)
+	// Load inserts a row during population, bypassing timing and logging.
+	Load(table uint16, key, val []byte)
+	// ReadRaw reads a row without timing (verification only).
+	ReadRaw(table uint16, key []byte) (val []byte, ok bool)
+	// ScanRaw iterates rows without timing (verification only).
+	ScanRaw(table uint16, from, to []byte, fn func(key, val []byte) bool)
+	// Breakdown returns the engine's cumulative Figure 3 component times.
+	Breakdown() *stats.Breakdown
+	// Counters returns engine event counters (commits, aborts, retries...).
+	Counters() *stats.Counter
+	// Close quiesces background daemons and partition workers.
+	Close()
+}
+
+// maxRetries bounds deadlock-retry loops.
+const maxRetries = 25
+
+// frontEndInstr is the admission/parse/route cost charged per transaction
+// attempt (the Figure 3 "Front-end" component).
+const frontEndInstr = 500

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// Workload is a benchmark: schema, population, partitioning and a
+// transaction mix.
+type Workload interface {
+	// Name identifies the workload in tables.
+	Name() string
+	// Tables returns the schema.
+	Tables() []TableDef
+	// Scheme returns the partitioning for the given partition count.
+	Scheme(partitions int) PartitionScheme
+	// Populate loads the initial database through load.
+	Populate(load func(table uint16, key, val []byte), r *sim.Rand)
+	// NextTxn draws one transaction from the mix.
+	NextTxn(r *sim.Rand) (name string, logic TxnLogic)
+}
+
+// RunConfig shapes one measurement.
+type RunConfig struct {
+	// Terminals is the number of closed-loop clients.
+	Terminals int
+	// Warmup is discarded simulated time before the measurement window.
+	Warmup sim.Duration
+	// Measure is the measurement window length.
+	Measure sim.Duration
+	// Drain bounds how long in-flight transactions get to finish after
+	// the window closes (0 uses a default).
+	Drain sim.Duration
+	// Seed drives population and the transaction mix.
+	Seed uint64
+}
+
+// DefaultRunConfig returns a config suitable for the figure generators.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Terminals: 64, Warmup: 30 * sim.Millisecond, Measure: 100 * sim.Millisecond, Seed: 42}
+}
+
+// Result is everything one run measures.
+type Result struct {
+	Engine   string
+	Workload string
+
+	Commits int64 // committed transactions in the window
+	Aborts  int64 // user aborts in the window
+	TPS     float64
+
+	Energy       platform.EnergyReport
+	JoulesPerTxn float64
+
+	BD        stats.Breakdown  // CPU component times in the window
+	Latency   *stats.Histogram // committed-transaction latency
+	TxnCounts map[string]int64 // per-transaction-type completions
+	Cache     platform.CacheStats
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-22s %-6s %9.0f tps  %8.2f uJ/txn  p50=%v p95=%v",
+		r.Engine, r.Workload, r.TPS, r.JoulesPerTxn*1e6,
+		r.Latency.Percentile(50), r.Latency.Percentile(95))
+}
+
+// BreakdownTable renders the Figure 3-style component share table.
+func (r *Result) BreakdownTable() *stats.Table {
+	t := stats.NewTable("component", ">time", ">share")
+	total := r.BD.Total()
+	for _, c := range stats.Components() {
+		share := 0.0
+		if total > 0 {
+			share = float64(r.BD.Get(c)) / float64(total) * 100
+		}
+		t.Row(c.String(), r.BD.Get(c).String(), fmt.Sprintf("%.1f%%", share))
+	}
+	return t
+}
+
+// TxnNames returns the observed transaction types in sorted order.
+func (r *Result) TxnNames() []string {
+	names := make([]string, 0, len(r.TxnCounts))
+	for n := range r.TxnCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one full measurement: build the engine on a fresh
+// environment, populate, warm up, measure, and drain. The returned Result
+// covers only the measurement window.
+func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, error) {
+	env := sim.NewEnv()
+	eng := mk(env)
+	pl := eng.Platform()
+	root := sim.NewRand(cfg.Seed)
+	wl.Populate(eng.Load, root.Split())
+	if warmer, ok := eng.(interface{ Warm() }); ok {
+		warmer.Warm()
+	}
+
+	warmT := sim.Time(cfg.Warmup)
+	endT := warmT + sim.Time(cfg.Measure)
+
+	res := &Result{
+		Engine:    eng.Name(),
+		Workload:  wl.Name(),
+		Latency:   &stats.Histogram{},
+		TxnCounts: make(map[string]int64),
+	}
+
+	var startBD, endBD stats.Breakdown
+	var startSnap, endSnap platform.Snapshot
+	var startCommits, endCommits, startAborts, endAborts int64
+	env.At(warmT, func() {
+		startBD = *eng.Breakdown()
+		startSnap = pl.Snapshot()
+		startCommits = eng.Counters().Get("commits")
+		startAborts = eng.Counters().Get("aborts.user")
+	})
+	env.At(endT, func() {
+		endBD = *eng.Breakdown()
+		endSnap = pl.Snapshot()
+		endCommits = eng.Counters().Get("commits")
+		endAborts = eng.Counters().Get("aborts.user")
+	})
+
+	stop := false
+	for i := 0; i < cfg.Terminals; i++ {
+		i := i
+		tr := root.Split()
+		env.Spawn(fmt.Sprintf("terminal%d", i), func(p *sim.Proc) {
+			term := &Terminal{ID: i, P: p, Core: pl.Cores[i%len(pl.Cores)], R: tr}
+			for !stop {
+				name, logic := wl.NextTxn(term.R)
+				start := p.Now()
+				committed := eng.Submit(term, logic)
+				if start >= warmT && p.Now() <= endT {
+					res.TxnCounts[name]++
+					if committed {
+						res.Latency.Record(p.Now().Sub(start))
+					}
+				}
+			}
+		})
+	}
+
+	if err := env.RunUntil(endT); err != nil {
+		return nil, err
+	}
+	// Drain: let in-flight transactions finish within a bounded grace
+	// period (background daemons tick forever, so an unbounded Run would
+	// never return), then stop daemons and let the event queue empty.
+	stop = true
+	drain := cfg.Drain
+	if drain <= 0 {
+		drain = 50 * sim.Millisecond
+	}
+	if err := env.RunUntil(endT + sim.Time(drain)); err != nil {
+		return nil, err
+	}
+	eng.Close()
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+
+	res.Commits = endCommits - startCommits
+	res.Aborts = endAborts - startAborts
+	res.TPS = sim.PerSecond(res.Commits, cfg.Measure)
+	res.BD = endBD.Sub(&startBD)
+	res.Energy = pl.Energy(startSnap, endSnap)
+	if res.Commits > 0 {
+		res.JoulesPerTxn = res.Energy.Total() / float64(res.Commits)
+	}
+	res.Cache = pl.CacheStats()
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+
+	"bionicdb/internal/btree"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/storage"
+	"bionicdb/internal/wal"
+)
+
+// CheckpointMeta is the recovery anchor: the root page of every table's
+// checkpoint image plus the log position recovery replays from. Figure 4
+// keeps "log sync & recovery" in software; this is that box.
+type CheckpointMeta struct {
+	Roots    map[uint16]storage.PageID
+	StartLSN wal.LSN
+}
+
+// Checkpoint writes every table's pages durably through dm and returns the
+// metadata Recover needs. The engine must be quiesced (no active
+// transactions): bionicdb checkpoints are sharp, not fuzzy.
+func Checkpoint(p *sim.Proc, tables map[uint16]*btree.Tree, dm *storage.DiskManager, log *wal.Store) CheckpointMeta {
+	meta := CheckpointMeta{Roots: make(map[uint16]storage.PageID)}
+	ids := make([]int, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tree := tables[uint16(id)]
+		meta.Roots[uint16(id)] = tree.RootID()
+		tree.Checkpoint(func(pid storage.PageID, img []byte) {
+			dm.Write(p, pid, img)
+		})
+	}
+	meta.StartLSN = log.Durable()
+	return meta
+}
+
+// Recover rebuilds every table from its checkpoint image and replays the
+// logical log: committed transactions' data records after meta.StartLSN are
+// applied in log order; records of transactions without a commit record are
+// ignored (runtime aborts rolled back in memory, so redo-only logical
+// recovery suffices). It returns the recovered trees keyed by table id.
+func Recover(p *sim.Proc, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager, logData []byte) (map[uint16]*btree.Tree, error) {
+	trees := make(map[uint16]*btree.Tree, len(defs))
+	for _, def := range defs {
+		tree, err := btree.Load(btree.Config{Order: def.Order}, meta.Roots[def.ID],
+			func(id storage.PageID) []byte { return dm.Read(p, id) })
+		if err != nil {
+			return nil, err
+		}
+		trees[def.ID] = tree
+	}
+	// Pass 1: which transactions committed?
+	committed := make(map[uint64]bool)
+	if err := wal.Scan(logData, meta.StartLSN, func(r wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			committed[r.Txn] = true
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	// Pass 2: redo committed work in log order. Record fields are views
+	// into logData, so images are copied before installation.
+	if err := wal.Scan(logData, meta.StartLSN, func(r wal.Record) bool {
+		if !committed[r.Txn] {
+			return true
+		}
+		tree, ok := trees[r.Table]
+		if !ok && (r.Type == wal.RecInsert || r.Type == wal.RecUpdate || r.Type == wal.RecDelete) {
+			return true // table not part of this recovery set
+		}
+		switch r.Type {
+		case wal.RecInsert, wal.RecUpdate:
+			key := append([]byte(nil), r.Key...)
+			val := append([]byte(nil), r.After...)
+			tree.Put(key, val, nil)
+		case wal.RecDelete:
+			tree.Delete(r.Key, nil)
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return trees, nil
+}

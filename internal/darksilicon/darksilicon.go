@@ -1,0 +1,113 @@
+// Package darksilicon implements the paper's §2 analytic models: Amdahl's
+// law under core scaling (Figure 1's utilization curves for 64-core 2011
+// and 1024-core 2018 chips), the shrinking power envelope ("a conservative
+// calculation puts perhaps 20% of transistors outside of the 2018 power
+// envelope, with the usable fraction shrinking by 30-50% each hardware
+// generation after"), and the joules/operation arithmetic behind "making a
+// computation use one tenth the power is just as valuable as making it ten
+// times faster".
+package darksilicon
+
+import "fmt"
+
+// Speedup is Amdahl's law: the speedup of a workload with the given serial
+// fraction on n identical cores.
+func Speedup(serialFrac float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return 1.0 / (serialFrac + (1.0-serialFrac)/float64(n))
+}
+
+// Utilization is the fraction of an n-core chip doing useful work when
+// running a workload with the given serial fraction: speedup divided by
+// core count. This is the quantity Figure 1 shades from the top-left.
+func Utilization(serialFrac float64, n int) float64 {
+	return Speedup(serialFrac, n) / float64(n)
+}
+
+// Panel describes one Figure 1 chip generation.
+type Panel struct {
+	Year     int
+	Cores    int
+	PowerCap float64 // fraction of the chip inside the power envelope (1 = all)
+}
+
+// Figure1Panels returns the two panels of Figure 1: (a) 2011 with 64 cores
+// and no power cap, (b) 2018 with 1024 cores and 20% of transistors outside
+// the envelope.
+func Figure1Panels() []Panel {
+	return []Panel{
+		{Year: 2011, Cores: 64, PowerCap: 1.0},
+		{Year: 2018, Cores: 1024, PowerCap: 0.8},
+	}
+}
+
+// SerialFractions returns Figure 1's labelled series.
+func SerialFractions() []float64 { return []float64{0.10, 0.01, 0.001, 0.0001} }
+
+// PanelUtilization returns the utilized chip fraction for one serial
+// fraction on one panel, after applying the power cap: silicon outside the
+// envelope can never be utilized regardless of software parallelism.
+func PanelUtilization(p Panel, serialFrac float64) float64 {
+	u := Utilization(serialFrac, p.Cores)
+	if u > p.PowerCap {
+		u = p.PowerCap
+	}
+	return u
+}
+
+// EnvelopeGeneration models the post-2018 power envelope: generation 0 is
+// 2018 (80% usable); each later generation shrinks the usable fraction by
+// the given rate (the paper brackets 30-50%).
+func EnvelopeGeneration(gen int, shrinkRate float64) float64 {
+	usable := 0.8
+	for i := 0; i < gen; i++ {
+		usable *= 1 - shrinkRate
+	}
+	return usable
+}
+
+// EnergyPerOp returns joules per operation for a component drawing powerW
+// watts while sustaining opsPerSec operations per second.
+func EnergyPerOp(powerW, opsPerSec float64) float64 {
+	if opsPerSec <= 0 {
+		return 0
+	}
+	return powerW / opsPerSec
+}
+
+// EquivalentGains demonstrates the paper's claim: a k-fold power reduction
+// and a k-fold speedup produce identical joules/op. It returns the two
+// joules/op figures for a baseline (powerW, opsPerSec).
+func EquivalentGains(powerW, opsPerSec, k float64) (lowerPower, faster float64) {
+	return EnergyPerOp(powerW/k, opsPerSec), EnergyPerOp(powerW, opsPerSec*k)
+}
+
+// RequiredSerialFraction inverts the Figure 1 argument: the serial fraction
+// needed to reach the target utilization on n cores. It answers the paper's
+// observation that a 1024-core chip demands roughly two orders of magnitude
+// less serial work than a 64-core chip for the same utilization.
+func RequiredSerialFraction(targetUtil float64, n int) float64 {
+	// util = 1/(n*s + (1-s)) => s = (1/util - 1) / (n - 1)
+	if n <= 1 || targetUtil <= 0 {
+		return 1
+	}
+	s := (1/targetUtil - 1) / float64(n-1)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// FormatPct renders a fraction as a percentage with sensible precision.
+func FormatPct(f float64) string {
+	switch {
+	case f >= 0.1:
+		return fmt.Sprintf("%.0f%%", f*100)
+	case f >= 0.01:
+		return fmt.Sprintf("%.1f%%", f*100)
+	default:
+		return fmt.Sprintf("%.2f%%", f*100)
+	}
+}

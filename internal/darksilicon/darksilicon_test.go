@@ -1,0 +1,146 @@
+package darksilicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSpeedupKnownValues(t *testing.T) {
+	if s := Speedup(0, 64); s != 64 {
+		t.Errorf("perfectly parallel on 64 cores = %v", s)
+	}
+	if s := Speedup(1, 64); s != 1 {
+		t.Errorf("fully serial = %v", s)
+	}
+	// Amdahl's classic: 10% serial caps speedup near 10.
+	if s := Speedup(0.10, 1024); !approx(s, 9.9, 0.2) {
+		t.Errorf("10%% serial on 1024 cores = %v, want ~9.9", s)
+	}
+	if s := Speedup(0.001, 64); !approx(s, 60.2, 0.3) {
+		t.Errorf("0.1%% serial on 64 cores = %v, want ~60", s)
+	}
+}
+
+func TestSpeedupMonotonicInCores(t *testing.T) {
+	if err := quick.Check(func(frac uint8, a, b uint16) bool {
+		s := float64(frac%100) / 100
+		na, nb := int(a%2048)+1, int(b%2048)+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		return Speedup(s, na) <= Speedup(s, nb)+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFigure1PaperClaims verifies the figure's central argument: 0.1%
+// serial work suffices for 2011 hardware (high utilization on 64 cores)
+// but wastes half or more of a 1024-core 2018 chip, and the serial budget
+// for equal utilization drops by roughly two orders of magnitude.
+func TestFigure1PaperClaims(t *testing.T) {
+	panels := Figure1Panels()
+	u2011 := PanelUtilization(panels[0], 0.001)
+	if u2011 < 0.9 {
+		t.Errorf("0.1%% serial on 2011 chip utilizes %v, want >= 0.9", u2011)
+	}
+	u2018 := PanelUtilization(panels[1], 0.001)
+	if u2018 > 0.55 {
+		t.Errorf("0.1%% serial on 2018 chip utilizes %v, want <= 0.55", u2018)
+	}
+	// Serial budget for 90% utilization.
+	s64 := RequiredSerialFraction(0.9, 64)
+	s1024 := RequiredSerialFraction(0.9, 1024)
+	ratio := s64 / s1024
+	if ratio < 10 || ratio > 30 {
+		t.Errorf("serial budget ratio 64->1024 cores = %v", ratio)
+	}
+	// And for matching the 2011 chip's 0.1%-serial utilization, the 2018
+	// chip needs ~the paper's "roughly two orders of magnitude" less.
+	target := Utilization(0.001, 64)
+	sNeeded := RequiredSerialFraction(target, 1024)
+	if r := 0.001 / sNeeded; r < 10 || r > 40 {
+		t.Errorf("serial reduction factor = %v, want order(s) of magnitude", r)
+	}
+}
+
+func TestPanelUtilizationPowerCap(t *testing.T) {
+	p := Panel{Year: 2018, Cores: 1024, PowerCap: 0.8}
+	// Embarrassingly parallel work still cannot exceed the envelope.
+	if u := PanelUtilization(p, 0); u != 0.8 {
+		t.Errorf("capped utilization = %v, want 0.8", u)
+	}
+}
+
+func TestEnvelopeGenerationShrinks(t *testing.T) {
+	if g0 := EnvelopeGeneration(0, 0.4); g0 != 0.8 {
+		t.Errorf("2018 envelope = %v", g0)
+	}
+	// 30-50% shrink per generation.
+	g1lo := EnvelopeGeneration(1, 0.3)
+	g1hi := EnvelopeGeneration(1, 0.5)
+	if !approx(g1lo, 0.56, 1e-9) || !approx(g1hi, 0.4, 1e-9) {
+		t.Errorf("gen-1 envelope = [%v, %v]", g1hi, g1lo)
+	}
+	prev := 0.8
+	for gen := 1; gen < 6; gen++ {
+		cur := EnvelopeGeneration(gen, 0.4)
+		if cur >= prev {
+			t.Fatalf("envelope not shrinking at gen %d", gen)
+		}
+		prev = cur
+	}
+}
+
+func TestEnergyEquivalence(t *testing.T) {
+	// The paper: 10x less power is worth the same as 10x faster.
+	lowerPower, faster := EquivalentGains(100, 1e6, 10)
+	if !approx(lowerPower, faster, 1e-12) {
+		t.Errorf("joules/op differ: %v vs %v", lowerPower, faster)
+	}
+	if !approx(lowerPower, 1e-5, 1e-12) {
+		t.Errorf("joules/op = %v, want 1e-5", lowerPower)
+	}
+	if EnergyPerOp(100, 0) != 0 {
+		t.Error("zero throughput should yield zero")
+	}
+}
+
+func TestRequiredSerialFractionInverts(t *testing.T) {
+	if err := quick.Check(func(fr uint16, c uint16) bool {
+		target := 0.05 + float64(fr%90)/100.0
+		n := int(c%2000) + 2
+		s := RequiredSerialFraction(target, n)
+		if s <= 0 {
+			return target >= 1
+		}
+		return approx(Utilization(s, n), target, 0.01)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	cases := map[float64]string{0.5: "50%", 0.015: "1.5%", 0.0001: "0.01%"}
+	for f, want := range cases {
+		if got := FormatPct(f); got != want {
+			t.Errorf("FormatPct(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestSerialFractionsMatchFigure(t *testing.T) {
+	fr := SerialFractions()
+	want := []float64{0.10, 0.01, 0.001, 0.0001}
+	if len(fr) != len(want) {
+		t.Fatal("wrong series count")
+	}
+	for i := range want {
+		if fr[i] != want[i] {
+			t.Errorf("series %d = %v", i, fr[i])
+		}
+	}
+}

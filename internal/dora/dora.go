@@ -1,0 +1,392 @@
+// Package dora implements data-oriented transaction execution [10, 11]: the
+// database is split into logical partitions, each owned by one worker bound
+// to one core; transactions are decomposed into per-partition actions that
+// flow through input queues and synchronize at rendezvous points (RVPs).
+// Ownership makes centralized locking and page latching unnecessary. A
+// partition-local lock table keyed by the action's routing entity preserves
+// isolation across a transaction's phases; conflicting actions are parked
+// on a deferred list (never blocking the worker) and re-dispatched when the
+// holder releases — DORA's deferred-action mechanism. A waits-for registry
+// turns would-be cross-entity cycles into abort votes at defer time.
+package dora
+
+import (
+	"fmt"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// Costs parameterizes the CPU cost of queue and local-lock management (the
+// Figure 3 "Dora" component). The hardware queue engine (§5.5) is modelled
+// by the engine substituting smaller costs plus a unit charge.
+type Costs struct {
+	EnqueueInstr   int // route + queue insert on the sender side
+	DequeueInstr   int // queue remove + action setup on the worker side
+	LocalLockInstr int // partition-local lock acquire or release
+	RVPInstr       int // per-arrival rendezvous bookkeeping
+}
+
+// DefaultCosts returns the software queue costs (coherence misses between
+// producer and consumer cores are charged via queue-slot Accesses on top).
+func DefaultCosts() Costs {
+	return Costs{EnqueueInstr: 160, DequeueInstr: 120, LocalLockInstr: 60, RVPInstr: 90}
+}
+
+// Action is one unit of partition-confined work.
+//
+// If LockKey is non-empty the partition acquires the (entity-granularity)
+// local lock for TxnID before running Body; the lock is held until the
+// transaction's ReleaseLocks action. A conflicting action is deferred, not
+// blocked; if deferring would close a waits-for cycle the action instead
+// arrives at its RVP with a false (abort) vote and Body never runs.
+type Action struct {
+	TxnID   uint64
+	LockKey string // "" = no locking (undo, release, single-phase reads)
+	RVP     *RVP
+	Run     func(t *platform.Task, pt *Partition) bool
+
+	// Priority actions (lock releases, undo) jump the input queue so they
+	// never convoy behind a backlog of actions waiting for the very locks
+	// they release.
+	Priority bool
+
+	// Refused is set by the partition when the action was abort-voted at
+	// defer time because waiting would close a deadlock cycle; Body never
+	// ran. Coordinators use it to distinguish engine aborts (retry) from
+	// user aborts (do not retry).
+	Refused bool
+}
+
+// RVP is a rendezvous point: the join of a fan-out of actions. The signal
+// fires when all arrivals are in; the value is true only if every action
+// voted to continue.
+type RVP struct {
+	remaining int
+	ok        bool
+	sig       *sim.Signal
+}
+
+// NewRVP creates a rendezvous expecting n arrivals.
+func NewRVP(env *sim.Env, n int) *RVP {
+	if n < 1 {
+		panic("dora: RVP needs at least one arrival")
+	}
+	return &RVP{remaining: n, ok: true, sig: sim.NewSignal(env)}
+}
+
+// Arrive registers one arrival with its vote; the last arrival fires the
+// signal.
+func (r *RVP) Arrive(vote bool) {
+	if r.remaining <= 0 {
+		panic("dora: RVP over-arrived")
+	}
+	if !vote {
+		r.ok = false
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		r.sig.Fire(r.ok)
+	}
+}
+
+// Await blocks until all arrivals are in and reports whether every action
+// voted to continue.
+func (r *RVP) Await(p *sim.Proc) bool {
+	return r.sig.Await(p).(bool)
+}
+
+// Registry is the waits-for graph shared by a set of partitions. All
+// updates happen from simulated processes (one at a time), so plain maps
+// suffice.
+type Registry struct {
+	waits     map[uint64]map[uint64]struct{} // txn -> txns it waits for
+	deadlocks int64
+}
+
+// NewRegistry returns an empty waits-for registry.
+func NewRegistry() *Registry {
+	return &Registry{waits: make(map[uint64]map[uint64]struct{})}
+}
+
+// Deadlocks returns how many defer attempts were refused as cycles.
+func (r *Registry) Deadlocks() int64 { return r.deadlocks }
+
+// wouldCycle reports whether adding waiter->holder closes a cycle.
+func (r *Registry) wouldCycle(waiter, holder uint64) bool {
+	seen := map[uint64]bool{}
+	var dfs func(id uint64) bool
+	dfs = func(id uint64) bool {
+		if id == waiter {
+			return true
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		for next := range r.waits[id] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(holder)
+}
+
+func (r *Registry) add(waiter, holder uint64) {
+	m := r.waits[waiter]
+	if m == nil {
+		m = make(map[uint64]struct{})
+		r.waits[waiter] = m
+	}
+	m[holder] = struct{}{}
+}
+
+func (r *Registry) remove(waiter, holder uint64) {
+	if m := r.waits[waiter]; m != nil {
+		delete(m, holder)
+		if len(m) == 0 {
+			delete(r.waits, waiter)
+		}
+	}
+}
+
+// Partition is one logical partition: an input queue, an owning worker on a
+// dedicated core, and a local lock table. Window controls how many actions
+// may be in flight at once (1 = strictly serial, the software DORA
+// configuration; >1 enables the overlap the bionic engine needs for
+// asynchronous hardware requests).
+type Partition struct {
+	ID     int
+	Core   *platform.Core
+	Costs  Costs
+	Window int
+
+	pl    *platform.Platform
+	reg   *Registry
+	in    *sim.Queue
+	locks map[string]*entityLock
+	bd    *stats.Breakdown
+
+	qAddr uint64 // queue slots, for coherence-miss charging
+
+	inflight int
+	slotFree *sim.Signal
+	done     int64
+	defers   int64
+
+	// HWQueue, when non-nil, is the hardware queue-management engine: the
+	// enqueue/dequeue path charges it instead of the software costs.
+	HWQueue *platform.HWUnit
+	// HWQueueCycles is the unit occupancy per queue operation.
+	HWQueueCycles int
+}
+
+type entityLock struct {
+	owner    uint64
+	deferred []*Action
+}
+
+// NewPartition creates a partition owned by core, sharing reg for deadlock
+// avoidance. Call Start to spawn its worker.
+func NewPartition(pl *platform.Platform, reg *Registry, id int, core *platform.Core, costs Costs, window int, bd *stats.Breakdown) *Partition {
+	if window < 1 {
+		window = 1
+	}
+	return &Partition{
+		ID:     id,
+		Core:   core,
+		Costs:  costs,
+		Window: window,
+		pl:     pl,
+		reg:    reg,
+		in:     sim.NewQueue(pl.Env, fmt.Sprintf("part%d.in", id), 0),
+		locks:  make(map[string]*entityLock),
+		bd:     bd,
+		qAddr:  pl.AllocHost(64 * 1024),
+	}
+}
+
+// Enqueue routes an action into the partition, charging the sender's task.
+func (pt *Partition) Enqueue(t *platform.Task, a *Action) {
+	if pt.HWQueue != nil {
+		// Doorbell write + hardware enqueue: minimal CPU, unit does the rest.
+		t.Exec(stats.CompDora, pt.Costs.EnqueueInstr/4)
+		t.Flush()
+		pt.HWQueue.Work(t.P, pt.HWQueueCycles)
+	} else {
+		t.Exec(stats.CompDora, pt.Costs.EnqueueInstr)
+		// Producer-side coherence traffic on the queue slot.
+		t.Access(stats.CompDora, pt.qAddr+uint64(pt.in.Puts()%1024)*64, 64)
+		t.Flush()
+	}
+	if a.Priority {
+		pt.in.PutFront(a)
+		return
+	}
+	pt.in.Put(t.P, a)
+}
+
+// QueueLen reports the current backlog.
+func (pt *Partition) QueueLen() int { return pt.in.Len() }
+
+// Done reports how many actions have completed (including abort votes).
+func (pt *Partition) Done() int64 { return pt.done }
+
+// Defers reports how often a conflicting action was parked.
+func (pt *Partition) Defers() int64 { return pt.defers }
+
+// Start spawns the partition worker. With Window == 1 the worker runs each
+// action to completion itself; with a larger window it dispatches actions
+// to child processes that share the partition's core, so an action blocked
+// on asynchronous hardware leaves the core free for its siblings.
+func (pt *Partition) Start() {
+	pt.pl.Env.Spawn(fmt.Sprintf("part%d.worker", pt.ID), func(p *sim.Proc) {
+		for {
+			v, ok := pt.in.Get(p)
+			if !ok {
+				for pt.inflight > 0 {
+					pt.slotFree = sim.NewSignal(p.Env())
+					pt.slotFree.Await(p)
+				}
+				return
+			}
+			a := v.(*Action)
+			if pt.Window == 1 {
+				task := pt.pl.NewTask(p, pt.Core, pt.bd)
+				pt.dispatch(task, a)
+				continue
+			}
+			for pt.inflight >= pt.Window {
+				pt.slotFree = sim.NewSignal(p.Env())
+				pt.slotFree.Await(p)
+			}
+			pt.inflight++
+			pt.pl.Env.Spawn(fmt.Sprintf("part%d.action", pt.ID), func(cp *sim.Proc) {
+				task := pt.pl.NewTask(cp, pt.Core, pt.bd)
+				pt.dispatch(task, a)
+				pt.inflight--
+				if pt.slotFree != nil && !pt.slotFree.Fired() {
+					pt.slotFree.Fire(nil)
+				}
+			})
+		}
+	})
+}
+
+// dispatch charges the dequeue, resolves the local lock, and either runs,
+// defers, or abort-votes the action.
+func (pt *Partition) dispatch(task *platform.Task, a *Action) {
+	if pt.HWQueue != nil {
+		task.Exec(stats.CompDora, pt.Costs.DequeueInstr/4)
+		task.Flush()
+		pt.HWQueue.Work(task.P, pt.HWQueueCycles)
+	} else {
+		task.Exec(stats.CompDora, pt.Costs.DequeueInstr)
+		task.Access(stats.CompDora, pt.qAddr+uint64(pt.done%1024)*64, 64)
+	}
+	if a.LockKey != "" {
+		task.Exec(stats.CompDora, pt.Costs.LocalLockInstr)
+		l := pt.locks[a.LockKey]
+		if l == nil {
+			l = &entityLock{owner: a.TxnID}
+			pt.locks[a.LockKey] = l
+		} else if l.owner != a.TxnID {
+			// Conflict: defer unless that would close a cycle.
+			if pt.reg.wouldCycle(a.TxnID, l.owner) {
+				pt.reg.deadlocks++
+				a.Refused = true
+				pt.finish(task, a, false)
+				return
+			}
+			pt.reg.add(a.TxnID, l.owner)
+			pt.defers++
+			l.deferred = append(l.deferred, a)
+			return
+		}
+	}
+	pt.run(task, a)
+}
+
+func (pt *Partition) run(task *platform.Task, a *Action) {
+	vote := a.Run(task, pt)
+	pt.finish(task, a, vote)
+}
+
+func (pt *Partition) finish(task *platform.Task, a *Action, vote bool) {
+	task.Exec(stats.CompDora, pt.Costs.RVPInstr)
+	task.Flush()
+	pt.done++
+	a.RVP.Arrive(vote)
+}
+
+// ReleaseLocks frees every local lock txnID holds in this partition and
+// re-dispatches deferred actions by re-enqueueing them. It is called from a
+// release action's body, on the partition's own worker.
+func (pt *Partition) ReleaseLocks(task *platform.Task, txnID uint64) {
+	for key, l := range pt.locks {
+		if l.owner != txnID {
+			continue
+		}
+		task.Exec(stats.CompDora, pt.Costs.LocalLockInstr)
+		if len(l.deferred) == 0 {
+			delete(pt.locks, key)
+			continue
+		}
+		// Hand the entity to the first deferred action's transaction and
+		// re-enqueue every deferred action whose transaction now owns it;
+		// others re-defer when dispatched.
+		next := l.deferred[0]
+		l.owner = next.TxnID
+		rest := l.deferred
+		l.deferred = nil
+		// Re-dispatch at the queue head: deferred actions were admitted
+		// before anything currently queued.
+		for i := len(rest) - 1; i >= 0; i-- {
+			d := rest[i]
+			pt.reg.remove(d.TxnID, txnID)
+			pt.in.PutFront(d)
+		}
+	}
+}
+
+// Close shuts the input queue; the worker exits after draining.
+func (pt *Partition) Close() { pt.in.Close() }
+
+// HeldLocks reports how many entity locks are currently owned (diagnostics).
+func (pt *Partition) HeldLocks() int { return len(pt.locks) }
+
+// DeferredActions reports actions parked on entity locks (diagnostics).
+func (pt *Partition) DeferredActions() int {
+	n := 0
+	for _, l := range pt.locks {
+		n += len(l.deferred)
+	}
+	return n
+}
+
+// Inflight reports actions currently executing (diagnostics).
+func (pt *Partition) Inflight() int { return pt.inflight }
+
+// HoldsLock reports whether txnID owns the entity lock for key (testing
+// hook).
+func (pt *Partition) HoldsLock(key string, txnID uint64) bool {
+	l := pt.locks[key]
+	return l != nil && l.owner == txnID
+}
+
+// DumpLocks reports every held entity lock as "key owner [deferred txns]"
+// lines (diagnostics).
+func (pt *Partition) DumpLocks() []string {
+	var out []string
+	for key, l := range pt.locks {
+		line := fmt.Sprintf("%s owner=%d deferred=[", key, l.owner)
+		for _, d := range l.deferred {
+			line += fmt.Sprintf("%d ", d.TxnID)
+		}
+		out = append(out, line+"]")
+	}
+	return out
+}

@@ -1,0 +1,460 @@
+package dora
+
+import (
+	"testing"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+func fixture(window int) (*sim.Env, *platform.Platform, *Partition, *stats.Breakdown) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	bd := &stats.Breakdown{}
+	pt := NewPartition(pl, NewRegistry(), 0, pl.Cores[0], DefaultCosts(), window, bd)
+	pt.Start()
+	return env, pl, pt, bd
+}
+
+func TestRVPJoinsVotes(t *testing.T) {
+	env := sim.NewEnv()
+	rvp := NewRVP(env, 3)
+	var result bool
+	env.Spawn("waiter", func(p *sim.Proc) {
+		result = rvp.Await(p)
+	})
+	env.Spawn("arrivals", func(p *sim.Proc) {
+		rvp.Arrive(true)
+		p.Wait(sim.Microsecond)
+		rvp.Arrive(true)
+		p.Wait(sim.Microsecond)
+		rvp.Arrive(true)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !result {
+		t.Fatal("unanimous true votes should succeed")
+	}
+}
+
+func TestRVPAbortVote(t *testing.T) {
+	env := sim.NewEnv()
+	rvp := NewRVP(env, 2)
+	var result bool
+	env.Spawn("waiter", func(p *sim.Proc) { result = rvp.Await(p) })
+	env.Spawn("arrivals", func(p *sim.Proc) {
+		rvp.Arrive(true)
+		rvp.Arrive(false)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if result {
+		t.Fatal("abort vote ignored")
+	}
+}
+
+func TestRVPOverArrivePanics(t *testing.T) {
+	env := sim.NewEnv()
+	rvp := NewRVP(env, 1)
+	env.Spawn("p", func(p *sim.Proc) {
+		rvp.Arrive(true)
+		rvp.Arrive(true)
+	})
+	if err := env.Run(); err == nil {
+		t.Fatal("expected over-arrive panic")
+	}
+}
+
+func TestPartitionExecutesActionsInOrder(t *testing.T) {
+	env, pl, pt, _ := fixture(1)
+	var order []int
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		rvp := NewRVP(env, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			pt.Enqueue(task, &Action{TxnID: 1, RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+				order = append(order, i)
+				t.Exec(stats.CompOther, 100)
+				return true
+			}})
+		}
+		task.Flush()
+		if !rvp.Await(p) {
+			t.Error("vote failed")
+		}
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order %v", order)
+	}
+	if pt.Done() != 3 {
+		t.Fatalf("done=%d", pt.Done())
+	}
+}
+
+func TestWindowOneSerializesBlockingActions(t *testing.T) {
+	// With window 1, a blocked action stalls the whole partition.
+	env, pl, pt, _ := fixture(1)
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		rvp := NewRVP(env, 2)
+		for i := 0; i < 2; i++ {
+			pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+				t.Block(10 * sim.Microsecond) // async hardware-style wait
+				return true
+			}})
+		}
+		task.Flush()
+		rvp.Await(p)
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() < sim.Time(20*sim.Microsecond) {
+		t.Fatalf("window-1 overlapped blocking actions: %v", env.Now())
+	}
+}
+
+func TestWindowedPartitionOverlapsBlockedActions(t *testing.T) {
+	env, pl, pt, _ := fixture(8)
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		rvp := NewRVP(env, 8)
+		for i := 0; i < 8; i++ {
+			pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+				t.Block(10 * sim.Microsecond)
+				return true
+			}})
+		}
+		task.Flush()
+		rvp.Await(p)
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 × 10us waits overlapped should finish well under 80us serial time.
+	if env.Now() > sim.Time(30*sim.Microsecond) {
+		t.Fatalf("windowed partition failed to overlap: %v", env.Now())
+	}
+}
+
+func TestWindowCapsInflight(t *testing.T) {
+	env, pl, pt, _ := fixture(2)
+	inflight, maxInflight := 0, 0
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		rvp := NewRVP(env, 6)
+		for i := 0; i < 6; i++ {
+			pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+				inflight++
+				if inflight > maxInflight {
+					maxInflight = inflight
+				}
+				t.Block(5 * sim.Microsecond)
+				inflight--
+				return true
+			}})
+		}
+		task.Flush()
+		rvp.Await(p)
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInflight > 2 {
+		t.Fatalf("window 2 exceeded: %d in flight", maxInflight)
+	}
+}
+
+// sendLocked enqueues a locking action for txn and returns its RVP.
+func sendLocked(env *sim.Env, task *platform.Task, pt *Partition, txn uint64, key string, body func(t *platform.Task) bool) *RVP {
+	rvp := NewRVP(env, 1)
+	pt.Enqueue(task, &Action{TxnID: txn, LockKey: key, RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+		if body == nil {
+			return true
+		}
+		return body(t)
+	}})
+	return rvp
+}
+
+// release enqueues a lock-release action for txn.
+func release(env *sim.Env, task *platform.Task, pt *Partition, txn uint64) *RVP {
+	rvp := NewRVP(env, 1)
+	pt.Enqueue(task, &Action{TxnID: txn, RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+		w.ReleaseLocks(t, txn)
+		return true
+	}})
+	return rvp
+}
+
+func TestEntityLockDefersConflicts(t *testing.T) {
+	env, pl, pt, _ := fixture(1)
+	var events []string
+	env.Spawn("coord", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		// T1 takes the entity and keeps it across a phase boundary.
+		r1 := sendLocked(env, task, pt, 1, "entity-5", func(t *platform.Task) bool {
+			events = append(events, "t1-run")
+			return true
+		})
+		task.Flush()
+		r1.Await(p)
+		// T2 conflicts: its action must be deferred, not run.
+		r2 := sendLocked(env, task, pt, 2, "entity-5", func(t *platform.Task) bool {
+			events = append(events, "t2-run")
+			return true
+		})
+		task.Flush()
+		p.Wait(20 * sim.Microsecond)
+		if pt.Defers() != 1 {
+			t.Errorf("defers=%d", pt.Defers())
+		}
+		if len(events) != 1 {
+			t.Errorf("t2 ran while t1 held the entity: %v", events)
+		}
+		// Release T1: T2's deferred action must now run.
+		release(env, task, pt, 1)
+		task.Flush()
+		r2.Await(p)
+		if len(events) != 2 || events[1] != "t2-run" {
+			t.Errorf("events %v", events)
+		}
+		if !pt.HoldsLock("entity-5", 2) {
+			t.Error("entity not handed to T2")
+		}
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReentrantEntityLock(t *testing.T) {
+	env, pl, pt, _ := fixture(1)
+	env.Spawn("coord", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		r1 := sendLocked(env, task, pt, 1, "e", nil)
+		task.Flush()
+		r1.Await(p)
+		// Same transaction locks the same entity in a later phase: runs.
+		r2 := sendLocked(env, task, pt, 1, "e", nil)
+		task.Flush()
+		if !r2.Await(p) {
+			t.Error("reentrant lock voted abort")
+		}
+		if pt.Defers() != 0 {
+			t.Errorf("defers=%d", pt.Defers())
+		}
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEntityCycleVotesAbort(t *testing.T) {
+	// T1 holds A and wants B; T2 holds B and wants A. The second defer
+	// attempt must abort-vote instead of deferring.
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	bd := &stats.Breakdown{}
+	reg := NewRegistry()
+	pa := NewPartition(pl, reg, 0, pl.Cores[0], DefaultCosts(), 1, bd)
+	pb := NewPartition(pl, reg, 1, pl.Cores[1], DefaultCosts(), 1, bd)
+	pa.Start()
+	pb.Start()
+	env.Spawn("coord", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[2], &stats.Breakdown{})
+		// Phase 1: each grabs its first entity.
+		r1 := sendLocked(env, task, pa, 1, "A", nil)
+		r2 := sendLocked(env, task, pb, 2, "B", nil)
+		task.Flush()
+		r1.Await(p)
+		r2.Await(p)
+		// Phase 2: crossed requests.
+		ra := sendLocked(env, task, pb, 1, "B", nil) // T1 wants B (deferred)
+		task.Flush()
+		p.Wait(5 * sim.Microsecond)
+		rb := sendLocked(env, task, pa, 2, "A", nil) // T2 wants A: cycle!
+		task.Flush()
+		if rb.Await(p) {
+			t.Error("cycle-closing action did not vote abort")
+		}
+		if reg.Deadlocks() != 1 {
+			t.Errorf("deadlocks=%d", reg.Deadlocks())
+		}
+		// T2 aborts: release its lock so T1's deferred action proceeds.
+		release(env, task, pb, 2)
+		task.Flush()
+		if !ra.Await(p) {
+			t.Error("T1's deferred action should eventually run")
+		}
+		release(env, task, pa, 1)
+		release(env, task, pb, 1)
+		task.Flush()
+		pa.Close()
+		pb.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueueChargesDoraComponent(t *testing.T) {
+	env, pl, pt, bd := fixture(1)
+	senderBD := &stats.Breakdown{}
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], senderBD)
+		rvp := NewRVP(env, 1)
+		pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool { return true }})
+		task.Flush()
+		rvp.Await(p)
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if senderBD.Get(stats.CompDora) == 0 {
+		t.Fatal("enqueue charged nothing to Dora")
+	}
+	if bd.Get(stats.CompDora) == 0 {
+		t.Fatal("dequeue charged nothing to Dora")
+	}
+}
+
+func TestHWQueuePathUsesUnit(t *testing.T) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	bd := &stats.Breakdown{}
+	pt := NewPartition(pl, NewRegistry(), 0, pl.Cores[0], DefaultCosts(), 1, bd)
+	pt.HWQueue = pl.NewHWUnit("queue-engine", 4)
+	pt.HWQueueCycles = 3
+	pt.Start()
+	senderBD := &stats.Breakdown{}
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], senderBD)
+		rvp := NewRVP(env, 1)
+		pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool { return true }})
+		task.Flush()
+		rvp.Await(p)
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pt.HWQueue.Ops() != 2 { // one enqueue + one dequeue
+		t.Fatalf("hw queue ops = %d", pt.HWQueue.Ops())
+	}
+	// The CPU-side cost must be well below the software enqueue cost.
+	if senderBD.Get(stats.CompDora) >= sim.Duration(DefaultCosts().EnqueueInstr)*400 {
+		t.Fatalf("hw enqueue charged %v of CPU", senderBD.Get(stats.CompDora))
+	}
+}
+
+func TestPartitionCloseDrains(t *testing.T) {
+	env, pl, pt, _ := fixture(4)
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		rvp := NewRVP(env, 10)
+		for i := 0; i < 10; i++ {
+			pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+				t.Block(2 * sim.Microsecond)
+				return true
+			}})
+		}
+		task.Flush()
+		pt.Close() // close before completion: worker must drain all 10
+		rvp.Await(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Done() != 10 {
+		t.Fatalf("done=%d after close-drain", pt.Done())
+	}
+	if env.Live() != 0 {
+		t.Fatalf("%d processes leaked", env.Live())
+	}
+}
+
+func TestPriorityActionJumpsQueue(t *testing.T) {
+	env, pl, pt, _ := fixture(1)
+	var order []string
+	env.Spawn("sender", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		rvp := NewRVP(env, 3)
+		// A slow action occupies the worker; two more queue behind it.
+		pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+			t.Block(10 * sim.Microsecond)
+			order = append(order, "slow")
+			return true
+		}})
+		pt.Enqueue(task, &Action{RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+			order = append(order, "normal")
+			return true
+		}})
+		pt.Enqueue(task, &Action{Priority: true, RVP: rvp, Run: func(t *platform.Task, w *Partition) bool {
+			order = append(order, "priority")
+			return true
+		}})
+		task.Flush()
+		rvp.Await(p)
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "slow" || order[1] != "priority" || order[2] != "normal" {
+		t.Fatalf("order %v, want priority before normal", order)
+	}
+}
+
+func TestReleaseHandsOffToDeferred(t *testing.T) {
+	env, pl, pt, _ := fixture(4)
+	env.Spawn("coord", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[1], &stats.Breakdown{})
+		r1 := sendLocked(env, task, pt, 1, "e", nil)
+		task.Flush()
+		r1.Await(p)
+		// Three transactions defer behind T1.
+		var rvps []*RVP
+		for txn := uint64(2); txn <= 4; txn++ {
+			rvps = append(rvps, sendLocked(env, task, pt, txn, "e", nil))
+		}
+		task.Flush()
+		p.Wait(10 * sim.Microsecond)
+		// Release T1: T2 must own the entity; T3/T4 re-defer behind it.
+		release(env, task, pt, 1)
+		task.Flush()
+		if !rvps[0].Await(p) {
+			t.Error("first deferred action failed")
+		}
+		if !pt.HoldsLock("e", 2) {
+			t.Error("handoff skipped FIFO order")
+		}
+		for txn := uint64(2); txn <= 4; txn++ {
+			release(env, task, pt, txn)
+		}
+		task.Flush()
+		for _, r := range rvps[1:] {
+			if !r.Await(p) {
+				t.Error("chained deferred action failed")
+			}
+		}
+		pt.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package logengine models the paper's §5.4 hardware log-insertion engine.
+// Worker cores append records to core-private staging buffers — no central
+// latch, a fraction of the software insert cost. A software log-sync daemon
+// (Figure 4 keeps "log sync & recovery" on the CPU) periodically, or when a
+// commit kicks it, collects all staging buffers, ships them over PCIe to
+// the FPGA where the unit arbitrates them into a single ordered stream, and
+// writes the ordered batch to the CPU-side SSD. Per-socket aggregation and
+// hardware arbitration replace the lock-free consolidation machinery of
+// software logs [7].
+package logengine
+
+import (
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/wal"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// AppendInstr is the CPU cost of one staged append (thread-local, no
+	// latch): descriptor write plus record encode bookkeeping.
+	AppendInstr int
+	// CopyInstrPerByte is the per-byte staging copy cost.
+	CopyInstrPerByte float64
+	// ArbCyclesPerRecord is the FPGA arbitration cost per record.
+	ArbCyclesPerRecord int
+	// SyncInterval is the periodic log-sync cadence; commits kick an
+	// immediate sync as well.
+	SyncInterval sim.Duration
+	// SyncCPUInstr is the daemon's per-collection CPU cost per core buffer.
+	SyncCPUInstr int
+}
+
+// DefaultConfig returns the calibrated engine parameters.
+func DefaultConfig() Config {
+	return Config{
+		AppendInstr:        70,
+		CopyInstrPerByte:   0.25,
+		ArbCyclesPerRecord: 2,
+		SyncInterval:       30 * sim.Microsecond,
+		SyncCPUInstr:       120,
+	}
+}
+
+// Engine implements wal.Appender over the hardware path.
+//
+// LSNs returned by Append are durability handles (monotone record sequence
+// numbers), not byte offsets: final byte order is assigned when the unit
+// arbitrates a collection epoch. An epoch collects every staging buffer
+// atomically, so by the time an epoch is durable, every record appended
+// before the collection — in particular everything a committing
+// transaction staged from any core — is durable with it. Recovery reads
+// the Store's byte stream and never sees handles.
+type Engine struct {
+	cfg   Config
+	pl    *platform.Platform
+	store *wal.Store
+	unit  *platform.HWUnit
+
+	staging   [][]byte // per-core staged record bytes
+	stageAddr []uint64
+	counts    []int // records per staging buffer
+
+	handle  wal.LSN // next record handle (1-based)
+	durable wal.LSN // handles <= durable are on the SSD
+
+	waiters []hwWaiter
+	kick    *sim.Queue
+	stopped bool
+
+	appends int64
+	syncs   int64
+}
+
+type hwWaiter struct {
+	h    wal.LSN
+	done *sim.Signal
+}
+
+// New creates the hardware log engine and spawns its log-sync daemon.
+func New(pl *platform.Platform, store *wal.Store, cfg Config) *Engine {
+	e := &Engine{
+		cfg:     cfg,
+		pl:      pl,
+		store:   store,
+		unit:    pl.NewHWUnit("log-insert", 4),
+		staging: make([][]byte, pl.Cfg.Cores),
+		counts:  make([]int, pl.Cfg.Cores),
+		kick:    sim.NewQueue(pl.Env, "logengine-kick", 1),
+	}
+	for i := 0; i < pl.Cfg.Cores; i++ {
+		e.stageAddr = append(e.stageAddr, pl.AllocHost(64<<10))
+	}
+	pl.Env.Spawn("log-sync", func(p *sim.Proc) { e.syncLoop(p) })
+	return e
+}
+
+// Append implements wal.Appender: a latch-free staged insert on the
+// caller's core. Commit records kick an immediate sync so group-commit
+// latency stays bounded.
+func (e *Engine) Append(t *platform.Task, rec *wal.Record) wal.LSN {
+	e.appends++
+	core := t.Core().ID
+	size := rec.EncodedSize()
+	t.Exec(stats.CompLog, e.cfg.AppendInstr+int(float64(size)*e.cfg.CopyInstrPerByte))
+	t.Access(stats.CompLog, e.stageAddr[core]+uint64(len(e.staging[core])%(64<<10)), size)
+	e.handle++
+	rec.LSN = e.handle
+	e.staging[core] = rec.Encode(e.staging[core])
+	e.counts[core]++
+	if rec.Type == wal.RecCommit || rec.Type == wal.RecAbort || len(e.staging[core]) >= 16<<10 {
+		e.kick.TryPut(struct{}{})
+	}
+	return e.handle
+}
+
+// CommitDurable implements wal.Appender against record handles.
+func (e *Engine) CommitDurable(h wal.LSN, done *sim.Signal) {
+	if h <= e.durable {
+		done.Fire(nil)
+		return
+	}
+	e.waiters = append(e.waiters, hwWaiter{h: h, done: done})
+}
+
+// Durable implements wal.Appender (handle watermark).
+func (e *Engine) Durable() wal.LSN { return e.durable }
+
+// Appends returns the number of records staged.
+func (e *Engine) Appends() int64 { return e.appends }
+
+// Syncs returns the number of collection epochs flushed.
+func (e *Engine) Syncs() int64 { return e.syncs }
+
+// Stop quiesces the sync daemon after draining staged records.
+func (e *Engine) Stop() {
+	e.stopped = true
+	if !e.kick.Closed() {
+		e.kick.TryPut(struct{}{})
+	}
+}
+
+func (e *Engine) syncLoop(p *sim.Proc) {
+	// The daemon runs on the last core: Figure 4's "log sync" box.
+	core := e.pl.Cores[len(e.pl.Cores)-1]
+	for {
+		if e.kick.Len() == 0 {
+			p.Wait(e.cfg.SyncInterval)
+		}
+		e.kick.TryGet()
+		e.syncOnce(p, core)
+		if e.stopped && e.pending() == 0 {
+			return
+		}
+	}
+}
+
+func (e *Engine) pending() int {
+	total := 0
+	for _, s := range e.staging {
+		total += len(s)
+	}
+	return total
+}
+
+// syncOnce collects one epoch: all staging buffers, one PCIe push to the
+// unit for arbitration, then the ordered batch to the SSD.
+func (e *Engine) syncOnce(p *sim.Proc, core *platform.Core) {
+	var batch []byte
+	records := 0
+	task := e.pl.NewTask(p, core, nil)
+	for i := range e.staging {
+		if len(e.staging[i]) == 0 {
+			continue
+		}
+		task.Exec(stats.CompLog, e.cfg.SyncCPUInstr)
+		batch = append(batch, e.staging[i]...)
+		records += e.counts[i]
+		e.staging[i] = nil
+		e.counts[i] = 0
+	}
+	epochHandle := e.handle // everything staged before this point is in the batch
+	task.Flush()
+	if len(batch) == 0 {
+		return
+	}
+	e.syncs++
+	// Host -> FPGA: the staged records cross PCIe once, batched.
+	e.pl.PCIe.Transfer(p, len(batch))
+	// Arbitration: the unit merges the per-core streams into final order.
+	e.unit.Work(p, records*e.cfg.ArbCyclesPerRecord)
+	// FPGA -> host -> SSD: the ordered epoch lands in the log file.
+	e.pl.PCIe.Transfer(p, len(batch))
+	e.store.Write(p, batch)
+	e.durable = epochHandle
+	kept := e.waiters[:0]
+	for _, w := range e.waiters {
+		if w.h <= e.durable {
+			w.done.Fire(nil)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	e.waiters = kept
+}

@@ -1,0 +1,390 @@
+// Package overlay implements the paper's §5.6 overlay database: the bionic
+// engine's replacement for the buffer pool. The overlay is a set of
+// index-organized tables living entirely in FPGA-side SG-DRAM ("the overlay
+// will consist entirely of various indexes that can be probed by the
+// hardware engine"). It caches reads, buffers writes, and bulk-merges
+// dirty rows back to the columnar base; leaves that fall out of the
+// configured capacity are evicted to the FPGA-side database files, and a
+// probe touching an evicted leaf aborts to software, which faults the leaf
+// back in and retries (§5.3's abort-and-retry contract).
+package overlay
+
+import (
+	"fmt"
+
+	"bionicdb/internal/btree"
+	"bionicdb/internal/hw/treeprobe"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/storage"
+)
+
+// Config tunes the overlay.
+type Config struct {
+	// CapacityRows bounds the overlay's resident row count; above it the
+	// store evicts cold leaves. Zero means unbounded (fully resident).
+	CapacityRows int
+	// EvictBatch is how many leaves one eviction pass retires.
+	EvictBatch int
+	// MergeInterval is the bulk-merge daemon cadence.
+	MergeInterval sim.Duration
+	// MergeBatchRows caps rows merged per pass.
+	MergeBatchRows int
+	// WriteCycles is the overlay-manager unit occupancy per write.
+	WriteCycles int
+	// MgmtInstr is the CPU-side bookkeeping per overlay operation.
+	MgmtInstr int
+}
+
+// DefaultConfig returns the calibrated overlay parameters.
+func DefaultConfig() Config {
+	return Config{
+		CapacityRows:   0,
+		EvictBatch:     8,
+		MergeInterval:  10 * sim.Millisecond,
+		MergeBatchRows: 65536,
+		WriteCycles:    8,
+		MgmtInstr:      60,
+	}
+}
+
+// Table is one overlay index.
+type Table struct {
+	ID   uint16
+	Tree *btree.Tree
+	// MergeFn, when set, applies a merged row to the columnar base. The
+	// key and value are the tree's images.
+	MergeFn func(key, val []byte)
+
+	dirty map[string]struct{}
+}
+
+// Store is the overlay database.
+type Store struct {
+	cfg   Config
+	pl    *platform.Platform
+	probe *treeprobe.Engine
+	unit  *platform.HWUnit
+
+	tables map[uint16]*Table
+
+	nextPage  storage.PageID
+	evicted   map[storage.PageID]bool
+	leafTouch map[storage.PageID]sim.Time // leaves only, last probe time
+	rows      int
+
+	faults    int64
+	evictions int64
+	merged    int64
+	stopped   bool
+}
+
+// New creates an overlay store whose probes run on probe. The merge daemon
+// is spawned immediately.
+func New(pl *platform.Platform, probe *treeprobe.Engine, cfg Config) *Store {
+	s := &Store{
+		cfg:       cfg,
+		pl:        pl,
+		probe:     probe,
+		unit:      pl.NewHWUnit("overlay-mgr", 4),
+		tables:    make(map[uint16]*Table),
+		nextPage:  1,
+		evicted:   make(map[storage.PageID]bool),
+		leafTouch: make(map[storage.PageID]sim.Time),
+	}
+	probe.Resident = func(id storage.PageID) bool { return !s.evicted[id] }
+	pl.Env.Spawn("overlay-merge", func(p *sim.Proc) { s.mergeLoop(p) })
+	return s
+}
+
+// CreateTable registers an overlay index with the given B+Tree order.
+func (s *Store) CreateTable(id uint16, order int) *Table {
+	if _, dup := s.tables[id]; dup {
+		panic(fmt.Sprintf("overlay: duplicate table %d", id))
+	}
+	t := &Table{
+		ID:    id,
+		dirty: make(map[string]struct{}),
+	}
+	t.Tree = btree.New(btree.Config{
+		Order: order,
+		NextID: func() storage.PageID {
+			id := s.nextPage
+			s.nextPage++
+			return id
+		},
+		AddrOf: func(id storage.PageID, size int) uint64 { return s.pl.AllocFPGA(8 << 10) },
+	})
+	s.tables[id] = t
+	return t
+}
+
+// TableByID returns a registered table.
+func (s *Store) TableByID(id uint16) *Table { return s.tables[id] }
+
+// Get probes the overlay through the hardware engine; a probe that hits an
+// evicted leaf aborts, software faults the leaf in (a database-file read on
+// the FPGA side), and the probe retries — charged to Bpool like the buffer
+// pool it replaces.
+func (s *Store) Get(t *platform.Task, tableID uint16, key []byte) (val []byte, ok bool) {
+	tbl := s.tables[tableID]
+	for attempt := 0; ; attempt++ {
+		res := s.probe.Probe(t, tbl.Tree, key)
+		if !res.Aborted {
+			s.touch(tbl.Tree, key)
+			return res.Val, res.Found
+		}
+		s.fault(t, tbl.Tree, key)
+		if attempt > 4 {
+			panic("overlay: probe kept aborting after faults")
+		}
+	}
+}
+
+// Put inserts or replaces a row. The functional update runs immediately;
+// timing is a hardware probe for positioning plus overlay-manager write
+// work, with splits (SMOs) charged to software as §5.3 requires.
+func (s *Store) Put(t *platform.Task, tableID uint16, key, val []byte) (prev []byte, existed bool) {
+	tbl := s.tables[tableID]
+	var tr btree.Trace
+	prev, existed = tbl.Tree.Put(key, val, &tr)
+	s.chargeWrite(t, tbl, &tr, len(val))
+	if !existed {
+		s.rows++
+		s.maybeEvict(t)
+	}
+	tbl.dirty[string(key)] = struct{}{}
+	return prev, existed
+}
+
+// Delete removes a row (a tombstone merge to the base).
+func (s *Store) Delete(t *platform.Task, tableID uint16, key []byte) (val []byte, ok bool) {
+	tbl := s.tables[tableID]
+	var tr btree.Trace
+	val, ok = tbl.Tree.Delete(key, &tr)
+	s.chargeWrite(t, tbl, &tr, 0)
+	if ok {
+		s.rows--
+		delete(tbl.dirty, string(key))
+	}
+	return val, ok
+}
+
+// ScanRange streams [from, to) from the overlay: a hardware descent plus
+// sequential SG-DRAM leaf reads, returning the rows via fn. Rows are
+// materialized before fn runs, so fn may safely perform further (parking)
+// operations without racing tree mutations.
+func (s *Store) ScanRange(t *platform.Task, tableID uint16, from, to []byte, fn func(key, val []byte) bool) {
+	tbl := s.tables[tableID]
+	var tr btree.Trace
+	t.Exec(stats.CompBtree, 100)
+	t.Flush()
+	s.pl.PCIe.Transfer(t.P, 64)
+	type kv struct{ k, v []byte }
+	var rows []kv
+	rowBytes := 0
+	tbl.Tree.Scan(from, to, &tr, func(k, v []byte) bool {
+		rows = append(rows, kv{k, v})
+		rowBytes += len(k) + len(v)
+		return true
+	})
+	for _, v := range tr.Visits {
+		s.pl.SGDRAM.Transfer(t.P, v.Bytes)
+		if v.Leaf {
+			s.leafTouch[v.ID] = t.P.Now()
+		}
+	}
+	s.unit.Work(t.P, len(rows)+len(tr.Visits)*2)
+	s.pl.PCIe.Transfer(t.P, 64+rowBytes)
+	t.Exec(stats.CompBtree, 60+len(rows)/4)
+	for _, r := range rows {
+		if !fn(r.k, r.v) {
+			return
+		}
+	}
+}
+
+// LoadRaw inserts a row during population: no timing, no dirty marking
+// (freshly loaded data is considered merged).
+func (s *Store) LoadRaw(tableID uint16, key, val []byte) {
+	tbl := s.tables[tableID]
+	_, existed := tbl.Tree.Put(key, val, nil)
+	if !existed {
+		s.rows++
+	}
+}
+
+// chargeWrite accounts a mutating tree operation. Writes are POSTED: the
+// CPU builds a descriptor and rings a doorbell (a posted PCIe write — no
+// round trip), then the hardware walks, writes and completes on its own
+// time in a spawned completion process. Durability is the log's job, so
+// nothing on the transaction's critical path waits for the overlay write —
+// the paper's asynchronous-medium argument applied to the write path.
+// Splits (SMOs) stay synchronous in software, as §5.3 prescribes.
+func (s *Store) chargeWrite(t *platform.Task, tbl *Table, tr *btree.Trace, valBytes int) {
+	// Descriptor build + doorbell: tens of instructions, no PCIe wait.
+	t.Exec(stats.CompBpool, s.cfg.MgmtInstr)
+	if tr.Splits > 0 {
+		// SMOs run in software: descriptors cross PCIe, node builds hit
+		// SG-DRAM, CPU does the bookkeeping.
+		t.Exec(stats.CompBtree, 1200*tr.Splits)
+		t.Flush()
+		s.pl.PCIe.Transfer(t.P, 256*tr.Splits)
+		s.pl.SGDRAM.Transfer(t.P, s.pl.Cfg.PageSize*tr.Splits)
+	}
+	for _, v := range tr.Visits {
+		if v.Leaf {
+			s.leafTouch[v.ID] = t.P.Now()
+		}
+	}
+	// The hardware's half of the write, off the critical path. The trace
+	// is snapshotted because the caller may reuse it.
+	visits := append([]btree.Visit(nil), tr.Visits...)
+	s.pl.Env.Spawn("overlay.write", func(p *sim.Proc) {
+		s.pl.PCIe.Transfer(p, 64+valBytes)
+		snap := btree.Trace{Visits: visits}
+		res := s.probe.WalkTrace(p, &snap)
+		if res.Aborted {
+			// The write path faults like the read path.
+			s.faults++
+			s.pl.Disk.Transfer(p, s.pl.Cfg.PageSize)
+			s.clearEvicted(&snap)
+		}
+		s.unit.Work(p, s.cfg.WriteCycles+valBytes/8)
+		s.pl.SGDRAM.Transfer(p, 64+valBytes)
+	})
+}
+
+// touch refreshes recency for the leaf that served key.
+func (s *Store) touch(tree *btree.Tree, key []byte) {
+	var tr btree.Trace
+	tree.Get(key, &tr) // structural re-walk, no timing: bookkeeping only
+	for _, v := range tr.Visits {
+		if v.Leaf {
+			s.leafTouch[v.ID] = s.pl.Env.Now()
+		}
+	}
+}
+
+// fault brings the evicted leaf for key back: a database-file read on the
+// FPGA side plus an SG-DRAM install.
+func (s *Store) fault(t *platform.Task, tree *btree.Tree, key []byte) {
+	s.faults++
+	t.Exec(stats.CompBpool, 400) // software fetch-and-retry handler
+	t.Flush()
+	s.pl.Disk.Transfer(t.P, s.pl.Cfg.PageSize)
+	s.pl.SGDRAM.Transfer(t.P, s.pl.Cfg.PageSize)
+	var tr btree.Trace
+	tree.Get(key, &tr)
+	s.clearEvicted(&tr)
+}
+
+func (s *Store) clearEvicted(tr *btree.Trace) {
+	for _, v := range tr.Visits {
+		if s.evicted[v.ID] {
+			delete(s.evicted, v.ID)
+			s.leafTouch[v.ID] = s.pl.Env.Now()
+		}
+	}
+}
+
+// maybeEvict retires the coldest leaves once the overlay exceeds capacity.
+// Inner nodes are never evicted — §5.3's "inodes tend to still fit
+// comfortably". Each eviction charges one page write-back to the database
+// files.
+func (s *Store) maybeEvict(t *platform.Task) {
+	if s.cfg.CapacityRows <= 0 || s.rows <= s.cfg.CapacityRows {
+		return
+	}
+	for i := 0; i < s.cfg.EvictBatch; i++ {
+		var coldest storage.PageID
+		var coldestAt sim.Time = 1<<62 - 1
+		for id, at := range s.leafTouch {
+			if !s.evicted[id] && at < coldestAt {
+				coldest, coldestAt = id, at
+			}
+		}
+		if coldest == 0 {
+			return
+		}
+		s.evicted[coldest] = true
+		s.evictions++
+		s.pl.Disk.Transfer(t.P, s.pl.Cfg.PageSize)
+	}
+}
+
+// mergeLoop is the bulk-merge daemon: every interval it folds dirty rows
+// into the columnar base in batches, charging sequential SG-DRAM reads and
+// database-file writes.
+func (s *Store) mergeLoop(p *sim.Proc) {
+	for {
+		p.Wait(s.cfg.MergeInterval)
+		if s.stopped {
+			s.mergeOnce(p) // final drain
+			return
+		}
+		s.mergeOnce(p)
+	}
+}
+
+func (s *Store) mergeOnce(p *sim.Proc) {
+	budget := s.cfg.MergeBatchRows
+	totalBytes := 0
+	for _, tbl := range s.tables {
+		if budget <= 0 {
+			break
+		}
+		var keys []string
+		for k := range tbl.dirty {
+			keys = append(keys, k)
+			if len(keys) >= budget {
+				break
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		for _, k := range keys {
+			val, ok := tbl.Tree.Get([]byte(k), nil)
+			if ok && tbl.MergeFn != nil {
+				tbl.MergeFn([]byte(k), val)
+			}
+			totalBytes += len(k) + len(val)
+			delete(tbl.dirty, k)
+			s.merged++
+		}
+		budget -= len(keys)
+	}
+	if totalBytes == 0 {
+		return
+	}
+	// One coalesced sequential pass: read the batch from SG-DRAM, write
+	// one run to the database files (a single seek, not one per table).
+	s.pl.SGDRAM.Transfer(p, totalBytes)
+	s.pl.Disk.Transfer(p, totalBytes)
+}
+
+// Stop quiesces the merge daemon after a final drain.
+func (s *Store) Stop() { s.stopped = true }
+
+// Faults returns the number of abort-and-fault round trips.
+func (s *Store) Faults() int64 { return s.faults }
+
+// Evictions returns the number of leaves retired to the base.
+func (s *Store) Evictions() int64 { return s.evictions }
+
+// Merged returns the number of rows bulk-merged to the base.
+func (s *Store) Merged() int64 { return s.merged }
+
+// Rows returns the resident row count across tables.
+func (s *Store) Rows() int { return s.rows }
+
+// DirtyRows returns rows awaiting merge.
+func (s *Store) DirtyRows() int {
+	n := 0
+	for _, tbl := range s.tables {
+		n += len(tbl.dirty)
+	}
+	return n
+}

@@ -1,0 +1,195 @@
+package treeprobe
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bionicdb/internal/btree"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/storage"
+)
+
+func fixture() (*sim.Env, *platform.Platform, *Engine, *btree.Tree) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	e := New(pl, DefaultConfig())
+	tree := btree.New(btree.Config{
+		AddrOf: func(id storage.PageID, size int) uint64 { return pl.AllocFPGA(8 << 10) },
+	})
+	for i := 0; i < 50000; i++ {
+		tree.Put(storage.Uint64Key(uint64(i)), []byte(fmt.Sprintf("row%d", i)), nil)
+	}
+	return env, pl, e, tree
+}
+
+func TestProbeReturnsValue(t *testing.T) {
+	env, pl, e, tree := fixture()
+	env.Spawn("p", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		res := e.Probe(task, tree, storage.Uint64Key(123))
+		if res.Aborted || !res.Found || !bytes.Equal(res.Val, []byte("row123")) {
+			t.Errorf("probe result %+v", res)
+		}
+		res = e.Probe(task, tree, storage.Uint64Key(999999))
+		if res.Found || res.Aborted {
+			t.Errorf("absent key result %+v", res)
+		}
+		task.Flush()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Probes() != 2 {
+		t.Fatalf("probes=%d", e.Probes())
+	}
+}
+
+func TestProbeLatencyDominatedByPCIeAndSGDRAM(t *testing.T) {
+	env, pl, e, tree := fixture()
+	var took sim.Duration
+	env.Spawn("p", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		start := p.Now()
+		e.Probe(task, tree, storage.Uint64Key(1))
+		task.Flush()
+		took = p.Now().Sub(start)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2us PCIe round trip + height × ~440ns walks.
+	min := 2 * sim.Microsecond
+	max := 2*sim.Microsecond + sim.Duration(tree.Height()+2)*500*sim.Nanosecond
+	if took < min || took > max {
+		t.Fatalf("probe latency %v, want in [%v, %v] (height %d)", took, min, max, tree.Height())
+	}
+}
+
+func TestProbeAbortsOnNonResident(t *testing.T) {
+	env, pl, e, tree := fixture()
+	// Mark every page non-resident: first visit must abort.
+	e.Resident = func(id storage.PageID) bool { return false }
+	env.Spawn("p", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		res := e.Probe(task, tree, storage.Uint64Key(1))
+		if !res.Aborted {
+			t.Error("expected abort")
+		}
+		if res.Found {
+			t.Error("aborted probe must not return data")
+		}
+		task.Flush()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Aborts() != 1 {
+		t.Fatalf("aborts=%d", e.Aborts())
+	}
+}
+
+// TestSaturationNearDozenOutstanding reproduces experiment C1: throughput
+// scales with the outstanding-request window and flattens around a dozen,
+// the paper's §5.3 estimate.
+func TestSaturationNearDozenOutstanding(t *testing.T) {
+	throughput := func(window int) float64 {
+		env, _, e, tree := fixture()
+		const probesPerStream = 200
+		r := sim.NewRand(7)
+		keys := make([][]byte, window*probesPerStream)
+		for i := range keys {
+			keys[i] = storage.Uint64Key(uint64(r.Intn(50000)))
+		}
+		done := 0
+		for w := 0; w < window; w++ {
+			w := w
+			env.Spawn("stream", func(p *sim.Proc) {
+				for i := 0; i < probesPerStream; i++ {
+					e.ProbeLocal(p, tree, keys[w*probesPerStream+i])
+					done++
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.PerSecond(int64(done), sim.Duration(env.Now()))
+	}
+	t1 := throughput(1)
+	t12 := throughput(12)
+	t24 := throughput(24)
+	if t12 < 5*t1 {
+		t.Fatalf("window 12 should be >5x window 1: %.0f vs %.0f", t12, t1)
+	}
+	// Beyond saturation, little additional gain.
+	if t24 > 1.2*t12 {
+		t.Fatalf("window 24 (%.0f) should be within 20%% of window 12 (%.0f): pipeline not saturating", t24, t12)
+	}
+}
+
+func TestProbeChargesBtreeComponentOnly(t *testing.T) {
+	env, pl, e, tree := fixture()
+	bd := &stats.Breakdown{}
+	env.Spawn("p", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], bd)
+		e.Probe(task, tree, storage.Uint64Key(5))
+		task.Flush()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Get(stats.CompBtree) == 0 {
+		t.Fatal("no Btree time charged")
+	}
+	// The CPU-side Btree charge must be small: most time is off-CPU.
+	if bd.Get(stats.CompBtree) > sim.Duration(500)*sim.Nanosecond {
+		t.Fatalf("CPU-side probe cost %v too high", bd.Get(stats.CompBtree))
+	}
+}
+
+func TestProbeTraceResidency(t *testing.T) {
+	env, pl, e, tree := fixture()
+	env.Spawn("p", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		var tr btree.Trace
+		tree.Get(storage.Uint64Key(7), &tr)
+		if !e.ProbeTrace(task, &tr) {
+			t.Error("resident trace reported non-resident")
+		}
+		e.Resident = func(id storage.PageID) bool { return false }
+		if e.ProbeTrace(task, &tr) {
+			t.Error("non-resident trace reported resident")
+		}
+		task.Flush()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreFreeDuringProbe(t *testing.T) {
+	env, pl, e, tree := fixture()
+	env.Spawn("prober", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		e.Probe(task, tree, storage.Uint64Key(3))
+		task.Flush()
+	})
+	var gotCore sim.Time
+	env.Spawn("cpu-work", func(p *sim.Proc) {
+		p.Wait(200 * sim.Nanosecond) // probe is mid-flight by now
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		task.Exec(stats.CompOther, 100)
+		task.Flush()
+		gotCore = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The sibling got the core long before the probe finished (~2us+).
+	if gotCore > sim.Time(1*sim.Microsecond) {
+		t.Fatalf("core was held during hardware probe: sibling ran at %v", gotCore)
+	}
+}

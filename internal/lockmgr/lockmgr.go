@@ -1,0 +1,375 @@
+// Package lockmgr implements the hierarchical two-phase-locking manager
+// used by the conventional shared-everything baseline: table-level
+// intention locks, row-level S/X locks with upgrades, FIFO queues with
+// compatible-prefix granting, and waits-for-graph deadlock detection at
+// block time (the victim receives ErrDeadlock and the engine aborts it).
+// DORA eliminates this component entirely — that is the point of §5.1.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes: intention-shared and intention-exclusive at table level,
+// shared and exclusive at row level.
+const (
+	IS Mode = iota + 1
+	IX
+	S
+	X
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ErrDeadlock is returned to a requester whose wait would close a cycle;
+// the engine must abort and retry the transaction.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected")
+
+// Compatible reports whether two modes can be held concurrently by
+// different transactions.
+func Compatible(a, b Mode) bool {
+	switch a {
+	case IS:
+		return b != X
+	case IX:
+		return b == IS || b == IX
+	case S:
+		return b == IS || b == S
+	case X:
+		return false
+	}
+	return false
+}
+
+// stronger reports whether a subsumes b for conversion purposes.
+func stronger(a, b Mode) bool {
+	if a == b {
+		return true
+	}
+	switch {
+	case a == X:
+		return true
+	case a == IX && b == IS:
+		return true
+	case a == S && b == IS:
+		return true
+	}
+	return false
+}
+
+// Config tunes the manager's CPU costs.
+type Config struct {
+	// AcquireInstr is the hash-probe + latch + grant bookkeeping cost.
+	AcquireInstr int
+	// ReleaseInstr is the per-lock release cost.
+	ReleaseInstr int
+	// LatchStripes is the number of lock-table latch stripes.
+	LatchStripes int
+}
+
+// DefaultConfig returns calibrated Shore-MT-like costs.
+func DefaultConfig() Config {
+	return Config{AcquireInstr: 220, ReleaseInstr: 80, LatchStripes: 16}
+}
+
+type waiter struct {
+	txn     uint64
+	mode    Mode
+	sig     *sim.Signal
+	upgrade bool
+}
+
+type lockState struct {
+	granted map[uint64]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock table.
+type Manager struct {
+	cfg     Config
+	env     *sim.Env
+	locks   map[string]*lockState
+	holds   map[uint64][]string // txn -> lock names, for ReleaseAll
+	waiting map[uint64]string   // txn -> lock name it is blocked on
+	latches []*sim.Resource
+	addr    uint64
+
+	acquires  int64
+	waits     int64
+	deadlocks int64
+	waitTime  sim.Duration
+}
+
+// New creates an empty lock manager.
+func New(pl *platform.Platform, cfg Config) *Manager {
+	m := &Manager{
+		cfg:     cfg,
+		env:     pl.Env,
+		locks:   make(map[string]*lockState),
+		holds:   make(map[uint64][]string),
+		waiting: make(map[uint64]string),
+		addr:    pl.AllocHost(1 << 20),
+	}
+	for i := 0; i < cfg.LatchStripes; i++ {
+		m.latches = append(m.latches, sim.NewResource(pl.Env, fmt.Sprintf("lock-latch-%d", i), 1))
+	}
+	return m
+}
+
+func hashName(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Acquire takes name in mode for txn, blocking until granted. It returns
+// ErrDeadlock when waiting would close a cycle; the caller must abort.
+// Re-acquiring a held lock in the same or weaker mode is free; requesting a
+// stronger mode converts (upgrades) it.
+func (m *Manager) Acquire(t *platform.Task, txn uint64, name string, mode Mode) error {
+	m.acquires++
+	t.Exec(stats.CompXct, m.cfg.AcquireInstr)
+	h := hashName(name)
+	t.Access(stats.CompXct, m.addr+(h%(1<<14))*64, 16)
+	t.Flush()
+	latch := m.latches[h%uint64(len(m.latches))]
+	latch.Acquire(t.P)
+	ls := m.locks[name]
+	if ls == nil {
+		ls = &lockState{granted: make(map[uint64]Mode)}
+		m.locks[name] = ls
+	}
+	held, holds := ls.granted[txn]
+	if holds && stronger(held, mode) {
+		latch.Release()
+		return nil
+	}
+	upgrade := holds
+	if m.grantable(ls, txn, mode, upgrade) {
+		m.grant(ls, txn, name, mode, upgrade)
+		latch.Release()
+		return nil
+	}
+	// Must wait: check for a deadlock cycle before enqueueing.
+	if m.wouldDeadlock(txn, ls, mode, upgrade) {
+		m.deadlocks++
+		latch.Release()
+		return ErrDeadlock
+	}
+	w := &waiter{txn: txn, mode: mode, sig: sim.NewSignal(m.env), upgrade: upgrade}
+	if upgrade {
+		// Upgrades queue ahead of fresh requests.
+		ls.queue = append([]*waiter{w}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+	m.waiting[txn] = name
+	m.waits++
+	latch.Release()
+	start := t.P.Now()
+	w.sig.Await(t.P)
+	m.waitTime += t.P.Now().Sub(start)
+	delete(m.waiting, txn)
+	if !w.sig.Value().(bool) {
+		m.deadlocks++
+		return ErrDeadlock
+	}
+	return nil
+}
+
+// grantable reports whether txn can hold mode on ls right now.
+func (m *Manager) grantable(ls *lockState, txn uint64, mode Mode, upgrade bool) bool {
+	for holder, hm := range ls.granted {
+		if holder == txn {
+			continue
+		}
+		if !Compatible(mode, hm) {
+			return false
+		}
+	}
+	// Fresh requests also respect the queue (no barging past waiters).
+	if !upgrade && len(ls.queue) > 0 {
+		return false
+	}
+	return true
+}
+
+func (m *Manager) grant(ls *lockState, txn uint64, name string, mode Mode, upgrade bool) {
+	ls.granted[txn] = mode
+	if !upgrade {
+		m.holds[txn] = append(m.holds[txn], name)
+	}
+}
+
+// wouldDeadlock checks whether txn blocking on ls closes a waits-for cycle.
+func (m *Manager) wouldDeadlock(txn uint64, ls *lockState, mode Mode, upgrade bool) bool {
+	// Blockers: incompatible current holders plus queued waiters (which
+	// we would wait behind unless upgrading).
+	visited := map[uint64]bool{}
+	var blocked []uint64
+	for holder, hm := range ls.granted {
+		if holder != txn && !Compatible(mode, hm) {
+			blocked = append(blocked, holder)
+		}
+	}
+	if !upgrade {
+		for _, w := range ls.queue {
+			if w.txn != txn {
+				blocked = append(blocked, w.txn)
+			}
+		}
+	}
+	var dfs func(id uint64) bool
+	dfs = func(id uint64) bool {
+		if id == txn {
+			return true
+		}
+		if visited[id] {
+			return false
+		}
+		visited[id] = true
+		waitName, isWaiting := m.waiting[id]
+		if !isWaiting {
+			return false
+		}
+		wls := m.locks[waitName]
+		if wls == nil {
+			return false
+		}
+		var wmode Mode
+		var wupg, found bool
+		for _, w := range wls.queue {
+			if w.txn == id {
+				wmode, wupg, found = w.mode, w.upgrade, true
+				break
+			}
+		}
+		if !found {
+			// Already granted (wake pending): no longer blocks anyone.
+			return false
+		}
+		for holder, hm := range wls.granted {
+			if holder != id && !Compatible(wmode, hm) && dfs(holder) {
+				return true
+			}
+		}
+		if !wupg {
+			for _, w := range wls.queue {
+				if w.txn != id && dfs(w.txn) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, b := range blocked {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseAll drops every lock txn holds (end of transaction under strict
+// 2PL) and grants newly compatible waiters in FIFO order.
+func (m *Manager) ReleaseAll(t *platform.Task, txn uint64) {
+	names := m.holds[txn]
+	delete(m.holds, txn)
+	for _, name := range names {
+		t.Exec(stats.CompXct, m.cfg.ReleaseInstr)
+		h := hashName(name)
+		latch := m.latches[h%uint64(len(m.latches))]
+		t.Flush()
+		latch.Acquire(t.P)
+		ls := m.locks[name]
+		delete(ls.granted, txn)
+		m.promote(ls, name)
+		if len(ls.granted) == 0 && len(ls.queue) == 0 {
+			delete(m.locks, name)
+		}
+		latch.Release()
+	}
+}
+
+// CancelWait removes txn's queued request on its waited lock (used when an
+// engine-level timeout aborts it); the waiter's signal fires with false.
+func (m *Manager) CancelWait(txn uint64) {
+	name, ok := m.waiting[txn]
+	if !ok {
+		return
+	}
+	ls := m.locks[name]
+	for i, w := range ls.queue {
+		if w.txn == txn {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			w.sig.Fire(false)
+			return
+		}
+	}
+}
+
+// promote grants the longest compatible prefix of the wait queue.
+func (m *Manager) promote(ls *lockState, name string) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		ok := true
+		for holder, hm := range ls.granted {
+			if holder != w.txn && !Compatible(w.mode, hm) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		m.grant(ls, w.txn, name, w.mode, w.upgrade)
+		w.sig.Fire(true)
+	}
+}
+
+// Acquires returns the number of Acquire calls.
+func (m *Manager) Acquires() int64 { return m.acquires }
+
+// Waits returns the number of blocking acquisitions.
+func (m *Manager) Waits() int64 { return m.waits }
+
+// Deadlocks returns the number of ErrDeadlock results handed out.
+func (m *Manager) Deadlocks() int64 { return m.deadlocks }
+
+// WaitTime returns the cumulative blocked time across all transactions.
+func (m *Manager) WaitTime() sim.Duration { return m.waitTime }
+
+// RowLock names a row lock for table t and primary key.
+func RowLock(table uint16, key []byte) string {
+	return fmt.Sprintf("r%d:%s", table, key)
+}
+
+// TableLock names a table-level lock.
+func TableLock(table uint16) string {
+	return fmt.Sprintf("t%d", table)
+}

@@ -1,0 +1,319 @@
+package lockmgr
+
+import (
+	"testing"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+func fixture() (*sim.Env, *platform.Platform, *Manager) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	return env, pl, New(pl, DefaultConfig())
+}
+
+func task(pl *platform.Platform, p *sim.Proc, core int) *platform.Task {
+	return pl.NewTask(p, pl.Cores[core%len(pl.Cores)], &stats.Breakdown{})
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, X, false},
+		{IX, IS, true}, {IX, IX, true}, {IX, S, false}, {IX, X, false},
+		{S, IS, true}, {S, IX, false}, {S, S, true}, {S, X, false},
+		{X, IS, false}, {X, IX, false}, {X, S, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if IS.String() != "IS" || IX.String() != "IX" || S.String() != "S" || X.String() != "X" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	env, pl, m := fixture()
+	var maxConcurrent, holders int
+	for i := 0; i < 4; i++ {
+		i := i
+		env.Spawn("r", func(p *sim.Proc) {
+			tk := task(pl, p, i)
+			if err := m.Acquire(tk, uint64(i+1), "row", S); err != nil {
+				t.Error(err)
+				return
+			}
+			holders++
+			if holders > maxConcurrent {
+				maxConcurrent = holders
+			}
+			p.Wait(10 * sim.Microsecond)
+			holders--
+			m.ReleaseAll(tk, uint64(i+1))
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConcurrent != 4 {
+		t.Fatalf("max concurrent S holders = %d, want 4", maxConcurrent)
+	}
+}
+
+func TestExclusiveBlocksAndFIFO(t *testing.T) {
+	env, pl, m := fixture()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Spawn("w", func(p *sim.Proc) {
+			p.Wait(sim.Duration(i) * sim.Microsecond) // arrive in order
+			tk := task(pl, p, i)
+			if err := m.Acquire(tk, uint64(i+1), "row", X); err != nil {
+				t.Error(err)
+				return
+			}
+			order = append(order, i)
+			p.Wait(10 * sim.Microsecond)
+			m.ReleaseAll(tk, uint64(i+1))
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order %v", order)
+	}
+	if m.Waits() != 2 {
+		t.Fatalf("waits=%d", m.Waits())
+	}
+}
+
+func TestReacquireHeldIsFree(t *testing.T) {
+	env, pl, m := fixture()
+	env.Spawn("w", func(p *sim.Proc) {
+		tk := task(pl, p, 0)
+		if err := m.Acquire(tk, 1, "row", X); err != nil {
+			t.Error(err)
+		}
+		if err := m.Acquire(tk, 1, "row", X); err != nil {
+			t.Error(err)
+		}
+		if err := m.Acquire(tk, 1, "row", S); err != nil { // weaker: no-op
+			t.Error(err)
+		}
+		m.ReleaseAll(tk, 1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	env, pl, m := fixture()
+	env.Spawn("w", func(p *sim.Proc) {
+		tk := task(pl, p, 0)
+		if err := m.Acquire(tk, 1, "row", S); err != nil {
+			t.Error(err)
+		}
+		if err := m.Acquire(tk, 1, "row", X); err != nil {
+			t.Errorf("sole-holder upgrade failed: %v", err)
+		}
+		m.ReleaseAll(tk, 1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeWaitsForReaders(t *testing.T) {
+	env, pl, m := fixture()
+	var upgradedAt sim.Time
+	env.Spawn("reader", func(p *sim.Proc) {
+		tk := task(pl, p, 0)
+		m.Acquire(tk, 2, "row", S)
+		p.Wait(50 * sim.Microsecond)
+		m.ReleaseAll(tk, 2)
+	})
+	env.Spawn("upgrader", func(p *sim.Proc) {
+		p.Wait(sim.Microsecond)
+		tk := task(pl, p, 1)
+		m.Acquire(tk, 1, "row", S)
+		if err := m.Acquire(tk, 1, "row", X); err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		upgradedAt = p.Now()
+		m.ReleaseAll(tk, 1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if upgradedAt < sim.Time(50*sim.Microsecond) {
+		t.Fatalf("upgrade granted at %v, before reader released", upgradedAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	env, pl, m := fixture()
+	errs := make([]error, 2)
+	// T1: lock A then B. T2: lock B then A.
+	env.Spawn("t1", func(p *sim.Proc) {
+		tk := task(pl, p, 0)
+		m.Acquire(tk, 1, "A", X)
+		p.Wait(10 * sim.Microsecond)
+		errs[0] = m.Acquire(tk, 1, "B", X)
+		p.Wait(10 * sim.Microsecond)
+		m.ReleaseAll(tk, 1)
+	})
+	env.Spawn("t2", func(p *sim.Proc) {
+		tk := task(pl, p, 1)
+		p.Wait(2 * sim.Microsecond)
+		m.Acquire(tk, 2, "B", X)
+		p.Wait(10 * sim.Microsecond)
+		errs[1] = m.Acquire(tk, 2, "A", X)
+		m.ReleaseAll(tk, 2)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if (errs[0] == nil) == (errs[1] == nil) {
+		t.Fatalf("exactly one transaction should deadlock: %v, %v", errs[0], errs[1])
+	}
+	if m.Deadlocks() != 1 {
+		t.Fatalf("deadlocks=%d", m.Deadlocks())
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	env, pl, m := fixture()
+	var deadlocks int
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("u", func(p *sim.Proc) {
+			tk := task(pl, p, i)
+			m.Acquire(tk, uint64(i+1), "row", S)
+			p.Wait(5 * sim.Microsecond)
+			if err := m.Acquire(tk, uint64(i+1), "row", X); err == ErrDeadlock {
+				deadlocks++
+				m.ReleaseAll(tk, uint64(i+1))
+				return
+			}
+			m.ReleaseAll(tk, uint64(i+1))
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deadlocks == 0 {
+		t.Fatal("S->X upgrade race produced no deadlock victim")
+	}
+}
+
+func TestIntentionLocksAllowRowParallelism(t *testing.T) {
+	env, pl, m := fixture()
+	done := 0
+	for i := 0; i < 4; i++ {
+		i := i
+		env.Spawn("w", func(p *sim.Proc) {
+			tk := task(pl, p, i)
+			txn := uint64(i + 1)
+			if err := m.Acquire(tk, txn, TableLock(1), IX); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := m.Acquire(tk, txn, RowLock(1, []byte{byte(i)}), X); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(10 * sim.Microsecond)
+			m.ReleaseAll(tk, txn)
+			done++
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Fatalf("done=%d", done)
+	}
+	if m.Waits() != 0 {
+		t.Fatalf("row-disjoint writers waited %d times", m.Waits())
+	}
+	// All should finish in ~one hold period since they don't conflict.
+	if env.Now() > sim.Time(30*sim.Microsecond) {
+		t.Fatalf("disjoint writers serialized: %v", env.Now())
+	}
+}
+
+func TestReleaseAllPromotesWaiters(t *testing.T) {
+	env, pl, m := fixture()
+	granted := 0
+	env.Spawn("holder", func(p *sim.Proc) {
+		tk := task(pl, p, 0)
+		m.Acquire(tk, 1, "row", X)
+		p.Wait(20 * sim.Microsecond)
+		m.ReleaseAll(tk, 1)
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Spawn("reader", func(p *sim.Proc) {
+			p.Wait(sim.Microsecond)
+			tk := task(pl, p, i+1)
+			if err := m.Acquire(tk, uint64(i+10), "row", S); err != nil {
+				t.Error(err)
+				return
+			}
+			granted++
+			m.ReleaseAll(tk, uint64(i+10))
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if granted != 3 {
+		t.Fatalf("granted=%d, want all readers promoted together", granted)
+	}
+}
+
+func TestLockNamesDistinct(t *testing.T) {
+	if RowLock(1, []byte("k")) == RowLock(2, []byte("k")) {
+		t.Error("row locks collide across tables")
+	}
+	if TableLock(1) == TableLock(2) {
+		t.Error("table locks collide")
+	}
+	if RowLock(1, []byte("k")) == TableLock(1) {
+		t.Error("row lock collides with table lock")
+	}
+}
+
+func TestWaitTimeAccumulates(t *testing.T) {
+	env, pl, m := fixture()
+	env.Spawn("holder", func(p *sim.Proc) {
+		tk := task(pl, p, 0)
+		m.Acquire(tk, 1, "row", X)
+		p.Wait(100 * sim.Microsecond)
+		m.ReleaseAll(tk, 1)
+	})
+	env.Spawn("waiter", func(p *sim.Proc) {
+		p.Wait(sim.Microsecond)
+		tk := task(pl, p, 1)
+		m.Acquire(tk, 2, "row", X)
+		m.ReleaseAll(tk, 2)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.WaitTime() < 90*sim.Microsecond {
+		t.Fatalf("wait time %v", m.WaitTime())
+	}
+}

@@ -1,0 +1,84 @@
+package platform
+
+// cacheLevel is a set-associative cache with true-LRU replacement, tracked
+// at cache-line granularity. It stores tags only: the simulation keeps data
+// in ordinary Go structures and uses the cache purely as a timing model.
+type cacheLevel struct {
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	sets      [][]uint64 // each set is an MRU-ordered tag list
+	hits      int64
+	misses    int64
+}
+
+func newCacheLevel(size, assoc, lineSize int) *cacheLevel {
+	nSets := size / (assoc * lineSize)
+	if nSets < 1 {
+		nSets = 1
+	}
+	// Round down to a power of two so the set index is a mask.
+	for nSets&(nSets-1) != 0 {
+		nSets &^= nSets & -nSets
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	c := &cacheLevel{
+		lineShift: shift,
+		setMask:   uint64(nSets - 1),
+		assoc:     assoc,
+		sets:      make([][]uint64, nSets),
+	}
+	return c
+}
+
+// access probes the cache for the line containing addr, installing it on a
+// miss (evicting the LRU way). It returns whether the probe hit.
+func (c *cacheLevel) access(lineAddr uint64) bool {
+	set := c.sets[lineAddr&c.setMask]
+	for i, tag := range set {
+		if tag == lineAddr {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = lineAddr
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.assoc {
+		set = append(set, 0)
+		c.sets[lineAddr&c.setMask] = set
+	}
+	copy(set[1:], set)
+	set[0] = lineAddr
+	return false
+}
+
+// lineOf returns the line address (addr with offset bits cleared... shifted).
+func (c *cacheLevel) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Hits returns the number of hits recorded so far.
+func (c *cacheLevel) Hits() int64 { return c.hits }
+
+// Misses returns the number of misses recorded so far.
+func (c *cacheLevel) Misses() int64 { return c.misses }
+
+// CacheStats summarizes hierarchy behaviour for reports and tests.
+type CacheStats struct {
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	L3Hits, L3Misses int64
+}
+
+// MissRatio returns LLC misses per L1 access, the fraction of accesses that
+// reached DRAM.
+func (s CacheStats) MissRatio() float64 {
+	total := s.L1Hits + s.L1Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L3Misses) / float64(total)
+}

@@ -1,0 +1,74 @@
+package platform
+
+import "bionicdb/internal/sim"
+
+// CharRow is one Figure 2 component: its configured (spec) numbers and the
+// latency/bandwidth measured against the simulated device.
+type CharRow struct {
+	Name     string
+	SpecGBps float64
+	SpecLat  sim.Duration
+	MeasGBps float64
+	MeasLat  sim.Duration
+}
+
+// Characterize runs microbenchmarks against every Figure 2 component of a
+// fresh platform and reports measured vs configured latency and bandwidth:
+// latency from a single dependent access, bandwidth from 64 concurrent
+// streams of large transfers. It validates that the machine model
+// faithfully realizes the figure's numbers.
+func Characterize(cfg *Config) []CharRow {
+	type devSpec struct {
+		name    string
+		gbps    float64
+		lat     sim.Duration
+		latSize int // bytes for the latency probe
+		bwSize  int // bytes per bandwidth-stream transfer
+		pick    func(pl *Platform) *Device
+	}
+	specs := []devSpec{
+		{"host-dram", cfg.HostDRAMBWGBps, cfg.HostDRAMLat, 64, 1 << 20, func(pl *Platform) *Device { return pl.HostDRAM }},
+		{"sg-dram", cfg.SGDRAMBWGBps, cfg.SGDRAMLat, 8, 1 << 20, func(pl *Platform) *Device { return pl.SGDRAM }},
+		{"pcie", cfg.PCIeBWGBps, cfg.PCIeLat, 64, 1 << 20, func(pl *Platform) *Device { return pl.PCIe }},
+		{"sas-disk", cfg.DiskBWGBps, cfg.DiskLat, 0, 8 << 20, func(pl *Platform) *Device { return pl.Disk }},
+		{"ssd", cfg.SSDBWGBps, cfg.SSDLat, 0, 4 << 20, func(pl *Platform) *Device { return pl.SSD }},
+	}
+	out := make([]CharRow, 0, len(specs))
+	for _, s := range specs {
+		row := CharRow{Name: s.name, SpecGBps: s.gbps, SpecLat: s.lat}
+
+		// Latency: one minimal access on an idle device.
+		env := sim.NewEnv()
+		pl := New(env, cfg)
+		dev := s.pick(pl)
+		env.Spawn("lat", func(p *sim.Proc) {
+			row.MeasLat = dev.Transfer(p, s.latSize)
+		})
+		if err := env.Run(); err != nil {
+			panic(err)
+		}
+
+		// Bandwidth: 64 concurrent streams, 8 transfers each.
+		env = sim.NewEnv()
+		pl = New(env, cfg)
+		dev = s.pick(pl)
+		var bytes int64
+		for i := 0; i < 64; i++ {
+			env.Spawn("bw", func(p *sim.Proc) {
+				for j := 0; j < 8; j++ {
+					dev.Transfer(p, s.bwSize)
+					bytes += int64(s.bwSize)
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			panic(err)
+		}
+		elapsed := sim.Duration(env.Now())
+		if elapsed > 0 {
+			row.MeasGBps = float64(bytes) / elapsed.Nanoseconds()
+		}
+		out = append(out, row)
+	}
+	return out
+}

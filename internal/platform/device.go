@@ -1,0 +1,76 @@
+package platform
+
+import "bionicdb/internal/sim"
+
+// Device is a latency + bandwidth component: a memory module, a link, or a
+// storage device. It has a number of parallel channels; each transfer
+// occupies one channel for bytes/perChannelBandwidth and then experiences
+// the device's pipelined latency without holding the channel, so concurrent
+// requesters overlap latency but share bandwidth. This is the standard
+// queueing model for every box and arrow in Figure 2.
+type Device struct {
+	name    string
+	chans   *sim.Resource
+	perChan float64      // GB/s per channel
+	latency sim.Duration // pipelined: experienced after the channel is released
+	holdLat sim.Duration // seek-style: occupies the channel (disks, SSD)
+
+	bytes int64
+	ops   int64
+}
+
+// NewDevice creates a device with aggregate bandwidth gbps split over the
+// given number of channels and a fixed pipelined latency.
+func NewDevice(env *sim.Env, name string, gbps float64, latency sim.Duration, channels int) *Device {
+	if channels < 1 {
+		channels = 1
+	}
+	return &Device{
+		name:    name,
+		chans:   sim.NewResource(env, name, channels),
+		perChan: gbps / float64(channels),
+		latency: latency,
+	}
+}
+
+// Transfer moves bytes through the device: it occupies one channel for the
+// serialization time, then waits the pipelined latency. It returns the total
+// time the calling process spent in the device (including queueing).
+func (d *Device) Transfer(p *sim.Proc, bytes int) sim.Duration {
+	start := p.Now()
+	d.ops++
+	d.bytes += int64(bytes)
+	d.chans.Acquire(p)
+	p.Wait(d.holdLat + transferTime(int64(bytes), d.perChan))
+	d.chans.Release()
+	p.Wait(d.latency)
+	return p.Now().Sub(start)
+}
+
+// TransferAsync begins a transfer and fires done (with nil) when it
+// completes, without blocking the caller. The spawned mover process models
+// the device's own DMA engine.
+func (d *Device) TransferAsync(env *sim.Env, bytes int, done *sim.Signal) {
+	env.Spawn(d.name+".dma", func(p *sim.Proc) {
+		d.Transfer(p, bytes)
+		done.Fire(nil)
+	})
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Latency returns the configured per-access latency (pipelined or holding).
+func (d *Device) Latency() sim.Duration { return d.latency + d.holdLat }
+
+// Bytes returns the total bytes transferred.
+func (d *Device) Bytes() int64 { return d.bytes }
+
+// Ops returns the number of transfers.
+func (d *Device) Ops() int64 { return d.ops }
+
+// BusyTime returns channel-seconds of serialization consumed.
+func (d *Device) BusyTime() sim.Duration { return d.chans.BusyTime() }
+
+// Utilization returns fraction of aggregate bandwidth consumed so far.
+func (d *Device) Utilization() float64 { return d.chans.Utilization() }

@@ -1,0 +1,275 @@
+package platform
+
+import (
+	"fmt"
+
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// Platform is one instantiated machine: CPU cores with private L1/L2 and a
+// shared LLC, the five Figure 2 devices, and any number of FPGA hardware
+// units. All simulated state lives in one Env; a Platform is single-run and
+// never shared across environments.
+type Platform struct {
+	Env *sim.Env
+	Cfg *Config
+
+	Cores []*Core
+	l3    *cacheLevel
+
+	// The Figure 2 components.
+	HostDRAM *Device // CPU-attached DDR3 (uncached/DMA path)
+	SGDRAM   *Device // FPGA-attached scatter-gather DDR3
+	PCIe     *Device // host<->FPGA link (latency is one-way)
+	Disk     *Device // SAS array behind the FPGA
+	SSD      *Device // SSD behind the CPU (log device)
+
+	units []*HWUnit
+
+	instructions  int64
+	dramLineBytes int64 // cached-path DRAM traffic (LLC miss fills)
+
+	hostBrk uint64
+	fpgaBrk uint64
+}
+
+// Address-space bases; the top bit distinguishes FPGA-side memory.
+const (
+	hostBase = uint64(0x0000_1000_0000_0000)
+	fpgaBase = uint64(0x8000_0000_0000_0000)
+)
+
+// New builds a platform on env from cfg. cfg must not be modified afterward.
+func New(env *sim.Env, cfg *Config) *Platform {
+	pl := &Platform{
+		Env: env,
+		Cfg: cfg,
+		l3:  newCacheLevel(cfg.L3Size, cfg.L3Assoc, cfg.LineSize),
+
+		HostDRAM: NewDevice(env, "host-dram", cfg.HostDRAMBWGBps, cfg.HostDRAMLat, cfg.HostDRAMChans),
+		SGDRAM:   NewDevice(env, "sg-dram", cfg.SGDRAMBWGBps, cfg.SGDRAMLat, cfg.SGDRAMChans),
+		PCIe:     NewDevice(env, "pcie", cfg.PCIeBWGBps, cfg.PCIeLat, 1),
+		Disk:     newHoldingDevice(env, "sas-disk", cfg.DiskBWGBps, cfg.DiskLat, cfg.DiskChans),
+		SSD:      newHoldingDevice(env, "ssd", cfg.SSDBWGBps, cfg.SSDLat, cfg.SSDChans),
+
+		hostBrk: hostBase,
+		fpgaBrk: fpgaBase,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		pl.Cores = append(pl.Cores, &Core{
+			ID:   i,
+			plat: pl,
+			res:  sim.NewResource(env, fmt.Sprintf("core%d", i), 1),
+			l1:   newCacheLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+			l2:   newCacheLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+		})
+	}
+	return pl
+}
+
+// newHoldingDevice builds a Device whose latency occupies the channel
+// (seek-style devices), by folding the latency into per-transfer hold time.
+func newHoldingDevice(env *sim.Env, name string, gbps float64, latency sim.Duration, channels int) *Device {
+	d := NewDevice(env, name, gbps, 0, channels)
+	d.holdLat = latency
+	return d
+}
+
+// AllocHost reserves size bytes of host address space (timing-model
+// addresses only; data lives in Go structures).
+func (pl *Platform) AllocHost(size int) uint64 {
+	a := pl.hostBrk
+	pl.hostBrk += uint64(size+63) &^ 63
+	return a
+}
+
+// AllocFPGA reserves size bytes of FPGA-side (SG-DRAM) address space.
+func (pl *Platform) AllocFPGA(size int) uint64 {
+	a := pl.fpgaBrk
+	pl.fpgaBrk += uint64(size+63) &^ 63
+	return a
+}
+
+// IsFPGAAddr reports whether addr is in FPGA-side memory.
+func IsFPGAAddr(addr uint64) bool { return addr >= fpgaBase }
+
+// Instructions returns total instructions retired across all cores.
+func (pl *Platform) Instructions() int64 { return pl.instructions }
+
+// CacheStats aggregates hit/miss counts across the hierarchy.
+func (pl *Platform) CacheStats() CacheStats {
+	var s CacheStats
+	for _, c := range pl.Cores {
+		s.L1Hits += c.l1.hits
+		s.L1Misses += c.l1.misses
+		s.L2Hits += c.l2.hits
+		s.L2Misses += c.l2.misses
+	}
+	s.L3Hits = pl.l3.hits
+	s.L3Misses = pl.l3.misses
+	return s
+}
+
+// Core is one general-purpose CPU core: a capacity-1 resource plus private
+// L1/L2 caches. Engine code does not use Core directly; it charges through
+// a Task bound to a core.
+type Core struct {
+	ID   int
+	plat *Platform
+	res  *sim.Resource
+	l1   *cacheLevel
+	l2   *cacheLevel
+}
+
+// BusyTime returns how long the core has been executing charged work.
+func (c *Core) BusyTime() sim.Duration { return c.res.BusyTime() }
+
+// Utilization returns the busy fraction of this core so far.
+func (c *Core) Utilization() float64 { return c.res.Utilization() }
+
+// access charges one memory reference through the cache hierarchy and
+// returns its latency. It also accounts DRAM fill traffic for the energy
+// model.
+func (c *Core) access(addr uint64, size int) sim.Duration {
+	cfg := c.plat.Cfg
+	var d sim.Duration
+	first := addr >> c.l1.lineShift
+	last := (addr + uint64(size) - 1) >> c.l1.lineShift
+	if size <= 0 {
+		last = first
+	}
+	for line := first; line <= last; line++ {
+		switch {
+		case c.l1.access(line):
+			d += cfg.L1Lat
+		case c.l2.access(line):
+			d += cfg.L2Lat
+		case c.plat.l3.access(line):
+			d += cfg.L3Lat
+		default:
+			d += cfg.DRAMMissLat
+			c.plat.dramLineBytes += int64(cfg.LineSize)
+		}
+	}
+	return d
+}
+
+// Task is an execution context bound to a core: the handle engine code uses
+// to charge instructions, memory references and raw time, attributed to a
+// Figure 3 component. Charges accumulate locally and are applied to the
+// core when Flush is called (or when the accumulated burst exceeds
+// maxBurst); engine code must Flush before blocking on queues, locks or
+// hardware completions so simulated time stays causal.
+type Task struct {
+	P    *sim.Proc
+	BD   *stats.Breakdown
+	core *Core
+
+	pending sim.Duration
+}
+
+// maxBurst caps how much charged time may accumulate before the task is
+// forced onto its core; it approximates an OS scheduling quantum and keeps
+// core contention realistic without per-charge context switches.
+const maxBurst = 2 * sim.Microsecond
+
+// NewTask binds process p to core and attributes its charges to bd.
+func (pl *Platform) NewTask(p *sim.Proc, core *Core, bd *stats.Breakdown) *Task {
+	return &Task{P: p, BD: bd, core: core}
+}
+
+// Core returns the core this task charges.
+func (t *Task) Core() *Core { return t.core }
+
+// Exec charges n instructions of CPU work to component comp.
+func (t *Task) Exec(comp stats.Component, n int) {
+	d := t.core.plat.Cfg.InstrTime(n)
+	t.core.plat.instructions += int64(n)
+	t.charge(comp, d)
+}
+
+// Access charges one memory reference of size bytes at addr through the
+// core's cache hierarchy, attributed to comp.
+func (t *Task) Access(comp stats.Component, addr uint64, size int) {
+	t.charge(comp, t.core.access(addr, size))
+}
+
+// ChargeTime charges a raw duration of CPU-held time to comp (for modelled
+// costs that are neither instructions nor cache accesses).
+func (t *Task) ChargeTime(comp stats.Component, d sim.Duration) { t.charge(comp, d) }
+
+func (t *Task) charge(comp stats.Component, d sim.Duration) {
+	if t.BD != nil {
+		t.BD.Add(comp, d)
+	}
+	t.pending += d
+	if t.pending >= maxBurst {
+		t.Flush()
+	}
+}
+
+// Flush applies accumulated charges: the task occupies its core for the
+// pending duration. Call before any blocking operation and at action
+// boundaries.
+func (t *Task) Flush() {
+	if t.pending == 0 {
+		return
+	}
+	d := t.pending
+	t.pending = 0
+	t.core.res.Acquire(t.P)
+	t.P.Wait(d)
+	t.core.res.Release()
+}
+
+// Block flushes pending work and then waits d off-core (an asynchronous
+// wait: the core is free for other tasks).
+func (t *Task) Block(d sim.Duration) {
+	t.Flush()
+	t.P.Wait(d)
+}
+
+// HWUnit is an FPGA engine: a pipeline with a fixed number of concurrent
+// slots running at the fabric clock. Units register with the platform for
+// energy accounting.
+type HWUnit struct {
+	Name   string
+	plat   *Platform
+	slots  *sim.Resource
+	nSlots int
+	ops    int64
+}
+
+// NewHWUnit configures an FPGA engine with the given pipeline parallelism.
+func (pl *Platform) NewHWUnit(name string, slots int) *HWUnit {
+	u := &HWUnit{
+		Name:   name,
+		plat:   pl,
+		slots:  sim.NewResource(pl.Env, name, slots),
+		nSlots: slots,
+	}
+	pl.units = append(pl.units, u)
+	return u
+}
+
+// Work occupies one pipeline slot for the given number of fabric cycles.
+func (u *HWUnit) Work(p *sim.Proc, cycles int) {
+	u.ops++
+	u.slots.Use(p, sim.Duration(cycles)*u.plat.Cfg.FPGACycle())
+}
+
+// Acquire claims a pipeline slot (for multi-step occupancy); pair with Release.
+func (u *HWUnit) Acquire(p *sim.Proc) { u.ops++; u.slots.Acquire(p) }
+
+// Release frees a pipeline slot.
+func (u *HWUnit) Release() { u.slots.Release() }
+
+// Ops returns the number of operations accepted by the unit.
+func (u *HWUnit) Ops() int64 { return u.ops }
+
+// BusyTime returns slot-time consumed.
+func (u *HWUnit) BusyTime() sim.Duration { return u.slots.BusyTime() }
+
+// Utilization returns the busy fraction of the unit's pipeline.
+func (u *HWUnit) Utilization() float64 { return u.slots.Utilization() }

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// Env is a discrete-event simulation environment: a virtual clock plus an
+// event queue. Processes spawned on an Env run strictly one at a time; every
+// wake-up is mediated by the event queue with ties broken by insertion
+// order, so a simulation is deterministic for a given program and seed.
+//
+// An Env must be created with NewEnv and driven from a single goroutine via
+// Run or RunUntil.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	cur    *Proc
+	parked chan struct{}
+	live   int   // processes that have been spawned and not yet finished
+	err    error // first process panic, adorned with a stack trace
+	closed bool
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc  // process to wake, or
+	fn  func() // callback to run in the scheduler
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() Time { return e.now }
+
+// At schedules fn to run in the scheduler goroutine at time t (clamped to
+// the present). Callbacks must not block; they are for lightweight
+// bookkeeping such as statistics sampling.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(event{at: t, fn: fn})
+}
+
+func (e *Env) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// scheduleWake arranges for p to resume at time t. Exactly one wake may be
+// outstanding per parked process; double wakes are a kernel bug.
+func (e *Env) scheduleWake(p *Proc, t Time) {
+	if p.waking {
+		panic(fmt.Sprintf("sim: double wake of process %q", p.name))
+	}
+	p.waking = true
+	e.push(event{at: t, p: p})
+}
+
+// Run executes events until none remain or a process panics. Processes left
+// blocked on queues, resources or signals when the event queue drains are
+// abandoned; use Close on queues and Fire on signals to release them for a
+// clean shutdown. Run returns the first process panic as an error.
+func (e *Env) Run() error { return e.RunUntil(Time(1<<63 - 1)) }
+
+// RunUntil executes events with timestamps not after horizon. The clock
+// stops at the last executed event (it does not jump to the horizon).
+func (e *Env) RunUntil(horizon Time) error {
+	if e.closed {
+		return fmt.Errorf("sim: environment already closed")
+	}
+	for len(e.events) > 0 {
+		if e.events[0].at > horizon {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.p
+		p.waking = false
+		e.cur = p
+		p.wake <- struct{}{}
+		<-e.parked
+		e.cur = nil
+		if e.err != nil {
+			e.closed = true
+			return e.err
+		}
+	}
+	return nil
+}
+
+// Spawn starts a new simulated process executing fn. The process begins at
+// the current simulated time, after the caller parks or returns. The name
+// appears in diagnostics only.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				if e.err == nil {
+					e.err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.done = true
+			e.live--
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.scheduleWake(p, e.now)
+	return p
+}
+
+// Live reports the number of spawned processes that have not finished.
+func (e *Env) Live() int { return e.live }
+
+// Proc is a simulated process: a goroutine that runs only when the scheduler
+// wakes it and must park (via Wait or a blocking kernel primitive) or return
+// to yield control. All Proc methods must be called from the process's own
+// goroutine.
+type Proc struct {
+	env    *Env
+	name   string
+	wake   chan struct{}
+	waking bool
+	done   bool
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park yields to the scheduler and blocks until some event wakes p. The
+// caller must have arranged a wake (a timer event or registration on a
+// queue/resource/signal waiter list) before parking.
+func (p *Proc) park() {
+	p.env.parked <- struct{}{}
+	<-p.wake
+}
+
+// Wait advances the process's local time by d without consuming any modelled
+// resource. Negative durations are treated as zero.
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.scheduleWake(p, p.env.now.Add(d))
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// runnable event at this timestamp execute first.
+func (p *Proc) Yield() { p.Wait(0) }

@@ -1,0 +1,194 @@
+package sim
+
+// Queue is a FIFO message queue between simulated processes, the building
+// block for DORA action queues and software/hardware request channels. A
+// zero capacity means unbounded. Get blocks while the queue is empty; Put
+// blocks while a bounded queue is full.
+//
+// Closing a queue releases all blocked getters (Get returns ok=false once
+// drained) so engines can shut workers down deterministically.
+type Queue struct {
+	env      *Env
+	name     string
+	capacity int // 0 = unbounded
+	items    []any
+	getters  []*Proc
+	putters  []*Proc
+	closed   bool
+
+	puts    int64
+	maxLen  int
+	sumWait Duration // total residence time of dequeued items
+	stamps  []Time   // enqueue timestamps, parallel to items
+}
+
+// NewQueue returns a queue with the given capacity; capacity 0 is unbounded.
+func NewQueue(env *Env, name string, capacity int) *Queue {
+	return &Queue{env: env, name: name, capacity: capacity}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// MaxLen reports the high-water mark of the queue length.
+func (q *Queue) MaxLen() int { return q.maxLen }
+
+// Puts reports the number of items ever enqueued.
+func (q *Queue) Puts() int64 { return q.puts }
+
+// ResidenceTime reports the cumulative time dequeued items spent queued.
+func (q *Queue) ResidenceTime() Duration { return q.sumWait }
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool { return q.closed }
+
+// Put enqueues v, blocking while a bounded queue is full. Put panics if the
+// queue is closed: producers must be quiesced before Close.
+func (q *Queue) Put(p *Proc, v any) {
+	for q.capacity > 0 && len(q.items) >= q.capacity {
+		if q.closed {
+			panic("sim: put on closed queue " + q.name)
+		}
+		q.putters = append(q.putters, p)
+		p.park()
+	}
+	if q.closed {
+		panic("sim: put on closed queue " + q.name)
+	}
+	q.enqueue(v)
+}
+
+// TryPut enqueues v only if the queue has room right now.
+func (q *Queue) TryPut(v any) bool {
+	if q.closed {
+		panic("sim: put on closed queue " + q.name)
+	}
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		return false
+	}
+	q.enqueue(v)
+	return true
+}
+
+// PutFront enqueues v at the head of the queue, ahead of waiting items —
+// for priority messages (lock releases, completions) that must not convoy
+// behind a backlog. It never blocks.
+func (q *Queue) PutFront(v any) {
+	if q.closed {
+		panic("sim: put on closed queue " + q.name)
+	}
+	q.items = append([]any{v}, q.items...)
+	q.stamps = append([]Time{q.env.now}, q.stamps...)
+	q.puts++
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		w := q.getters[0]
+		q.getters = q.getters[1:]
+		q.env.scheduleWake(w, q.env.now)
+	}
+}
+
+func (q *Queue) enqueue(v any) {
+	q.items = append(q.items, v)
+	q.stamps = append(q.stamps, q.env.now)
+	q.puts++
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		w := q.getters[0]
+		q.getters = q.getters[1:]
+		q.env.scheduleWake(w, q.env.now)
+	}
+}
+
+// Get dequeues the oldest item, blocking while the queue is empty. It
+// returns ok=false only when the queue is closed and drained.
+func (q *Queue) Get(p *Proc) (v any, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.getters = append(q.getters, p)
+		p.park()
+	}
+	return q.dequeue(), true
+}
+
+// TryGet dequeues the oldest item only if one is available right now.
+func (q *Queue) TryGet() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return q.dequeue(), true
+}
+
+func (q *Queue) dequeue() any {
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.sumWait += q.env.now.Sub(q.stamps[0])
+	q.stamps = q.stamps[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		q.env.scheduleWake(w, q.env.now)
+	}
+	return v
+}
+
+// Close marks the queue closed and wakes every blocked getter; they drain
+// remaining items and then observe ok=false.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.getters {
+		q.env.scheduleWake(w, q.env.now)
+	}
+	q.getters = nil
+}
+
+// Signal is a one-shot completion event carrying a value: the handshake for
+// asynchronous hardware requests. Await blocks until Fire; once fired,
+// Await returns immediately. Multiple processes may await one signal.
+type Signal struct {
+	env     *Env
+	fired   bool
+	val     any
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Fire completes the signal with value v and wakes all waiters. Firing an
+// already-fired signal panics: completions must be delivered exactly once.
+func (s *Signal) Fire(v any) {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	s.val = v
+	for _, w := range s.waiters {
+		s.env.scheduleWake(w, s.env.now)
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has completed.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the fired value (nil before Fire).
+func (s *Signal) Value() any { return s.val }
+
+// Await blocks until the signal fires and returns its value.
+func (s *Signal) Await(p *Proc) any {
+	for !s.fired {
+		s.waiters = append(s.waiters, p)
+		p.park()
+	}
+	return s.val
+}

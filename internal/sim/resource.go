@@ -1,0 +1,103 @@
+package sim
+
+// Resource models a server pool with a fixed number of identical slots and a
+// FIFO wait queue: CPU cores, memory channels, a log device, a latch
+// (capacity 1). Acquire blocks the calling process while all slots are busy.
+//
+// Resource also accumulates busy time so harnesses can report utilization.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	busy      Duration // integral of inUse over time
+	lastStamp Time
+	acquires  int64
+	waited    Duration // total time processes spent queued
+}
+
+// NewResource returns a resource with the given number of slots.
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+func (r *Resource) stamp() {
+	now := r.env.now
+	r.busy += Duration(now-r.lastStamp) * Duration(r.inUse)
+	r.lastStamp = now
+}
+
+// Acquire claims one slot, blocking in FIFO order while none is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	start := r.env.now
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		p.park()
+	}
+	r.waited += r.env.now.Sub(start)
+	r.stamp()
+	r.inUse++
+}
+
+// TryAcquire claims a slot only if one is free right now.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.acquires++
+	r.stamp()
+	r.inUse++
+	return true
+}
+
+// Release frees one slot and wakes the longest-waiting process, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.stamp()
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.env.scheduleWake(w, r.env.now)
+	}
+}
+
+// Use acquires a slot, holds it for d, then releases it. It is the common
+// pattern for charging service time at a contended resource.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// InUse reports the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes blocked in Acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyTime returns the slot-time integral consumed so far (slots × time).
+func (r *Resource) BusyTime() Duration { r.stamp(); return r.busy }
+
+// WaitTime returns the total time processes have spent queued.
+func (r *Resource) WaitTime() Duration { return r.waited }
+
+// Acquires returns the number of successful or pending Acquire/TryAcquire calls.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// Utilization returns busy slot-time divided by capacity × elapsed, in [0,1].
+func (r *Resource) Utilization() float64 {
+	elapsed := Duration(r.env.now)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / (float64(elapsed) * float64(r.capacity))
+}

@@ -1,0 +1,376 @@
+// Package stats provides the measurement vocabulary shared by every engine:
+// the component taxonomy of the paper's Figure 3, per-component time
+// breakdowns, latency histograms with percentile queries, and fixed-width
+// table rendering for the figure generators.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bionicdb/internal/sim"
+)
+
+// Component identifies which subsystem a slice of execution time belongs to.
+// The values mirror the legend of Figure 3 in the paper: Other, Front-end,
+// Dora, Xct mgmt, Log mgmt, Btree mgmt, Bpool mgmt.
+type Component uint8
+
+// The Figure 3 component taxonomy.
+const (
+	CompOther    Component = iota // catch-all: allocation, formatting, misc
+	CompFrontEnd                  // terminal handling, txn admission, routing
+	CompDora                      // partition queues, RVPs, local locking
+	CompXct                       // transaction management: begin/commit/abort, 2PL
+	CompLog                       // log manager: record build, insert, flush waits
+	CompBtree                     // B+Tree probes, inserts, SMOs
+	CompBpool                     // buffer pool / overlay management
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"Other", "Front-end", "Dora", "Xct mgmt", "Log mgmt", "Btree mgmt", "Bpool mgmt",
+}
+
+// String returns the Figure 3 legend name of the component.
+func (c Component) String() string {
+	if c < NumComponents {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", uint8(c))
+}
+
+// Components lists all components in legend order.
+func Components() []Component {
+	out := make([]Component, NumComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Breakdown accumulates busy time per component. The zero value is ready to
+// use. Breakdowns are written only from simulated processes, which execute
+// one at a time, so no synchronization is needed.
+type Breakdown struct {
+	t [NumComponents]sim.Duration
+}
+
+// Add charges d to component c.
+func (b *Breakdown) Add(c Component, d sim.Duration) { b.t[c] += d }
+
+// Get returns the time charged to component c.
+func (b *Breakdown) Get(c Component) sim.Duration { return b.t[c] }
+
+// Total returns the time charged across all components.
+func (b *Breakdown) Total() sim.Duration {
+	var sum sim.Duration
+	for _, d := range b.t {
+		sum += d
+	}
+	return sum
+}
+
+// Fraction returns component c's share of the total, in [0,1].
+func (b *Breakdown) Fraction(c Component) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.t[c]) / float64(total)
+}
+
+// AddAll merges another breakdown into this one.
+func (b *Breakdown) AddAll(o *Breakdown) {
+	for i := range b.t {
+		b.t[i] += o.t[i]
+	}
+}
+
+// Sub returns the per-component difference b - o (for measurement windows
+// bounded by two snapshots).
+func (b *Breakdown) Sub(o *Breakdown) Breakdown {
+	var out Breakdown
+	for i := range b.t {
+		out.t[i] = b.t[i] - o.t[i]
+	}
+	return out
+}
+
+// Reset zeroes all components.
+func (b *Breakdown) Reset() { b.t = [NumComponents]sim.Duration{} }
+
+// Histogram records durations in logarithmic buckets (~7% resolution) and
+// answers percentile queries. The zero value is ready to use.
+type Histogram struct {
+	counts [512]int64
+	n      int64
+	sum    sim.Duration
+	min    sim.Duration
+	max    sim.Duration
+}
+
+// bucketOf maps a duration to a log-scale bucket: 16 buckets per octave.
+func bucketOf(d sim.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	// Find the position of the highest set bit.
+	v := uint64(d)
+	msb := 63
+	for v&(1<<63) == 0 {
+		v <<= 1
+		msb--
+	}
+	// Sub-bucket from the next 4 bits below the MSB.
+	var sub uint64
+	if msb >= 4 {
+		sub = (uint64(d) >> (uint(msb) - 4)) & 15
+	} else {
+		sub = (uint64(d) << (4 - uint(msb))) & 15
+	}
+	b := msb*16 + int(sub)
+	if b >= len(Histogram{}.counts) {
+		b = len(Histogram{}.counts) - 1
+	}
+	return b
+}
+
+// bucketLow returns the smallest duration mapping to bucket b.
+func bucketLow(b int) sim.Duration {
+	msb := b / 16
+	sub := b % 16
+	if msb < 4 {
+		return sim.Duration(uint64(16+sub) >> (4 - uint(msb)))
+	}
+	return sim.Duration(uint64(16+sub) << (uint(msb) - 4))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d sim.Duration) {
+	if h.n == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.n++
+	h.sum += d
+	h.counts[bucketOf(d)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() sim.Duration { return h.sum }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return sim.Duration(int64(h.sum) / h.n)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() sim.Duration { return h.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Percentile returns an estimate of the p-quantile (p in [0,100]), accurate
+// to the ~7% bucket resolution. Empty histograms return 0.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(p / 100 * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum > rank {
+			lo := bucketLow(b)
+			hi := bucketLow(b + 1)
+			if hi > h.max {
+				hi = h.max
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// Table renders aligned text tables for the figure generators.
+type Table struct {
+	header []string
+	rows   [][]string
+	align  []bool // true = right-align
+}
+
+// NewTable creates a table with the given column headers. Columns whose
+// header starts with '>' are right-aligned (the '>' is stripped).
+func NewTable(headers ...string) *Table {
+	t := &Table{align: make([]bool, len(headers))}
+	for i, h := range headers {
+		if strings.HasPrefix(h, ">") {
+			t.align[i] = true
+			h = h[1:]
+		}
+		t.header = append(t.header, h)
+	}
+	return t
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// String renders the table with a header rule.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := width[i] - len(c)
+			if i < len(t.align) && t.align[i] {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			} else {
+				sb.WriteString(c)
+				if i < len(cells)-1 {
+					sb.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.header))
+	for i, h := range t.header {
+		cells[i] = esc(h)
+	}
+	sb.WriteString(strings.Join(cells, ","))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, esc(c))
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Counter is a named monotonic event counter set.
+type Counter struct {
+	m map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counter) Inc(name string, delta int64) { c.m[name] += delta }
+
+// Get returns the named counter's value.
+func (c *Counter) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

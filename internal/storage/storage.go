@@ -1,0 +1,211 @@
+// Package storage provides the durable substrate shared by every engine:
+// page identity, a disk manager that keeps durable page images on a
+// simulated device, order-preserving key encodings, and a compact record
+// encoder. Volatile structures (B+Trees, the overlay) live in ordinary Go
+// memory; durability comes from checkpointed page images plus the WAL.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+)
+
+// PageID names a durable page.
+type PageID uint64
+
+// InvalidPage is the zero PageID, never allocated.
+const InvalidPage PageID = 0
+
+// DiskManager owns the durable page images of one device (the SAS array or
+// the SSD). Reads and writes charge the device's latency and bandwidth.
+// Images are copied on both paths, so a crash test can discard all volatile
+// state and trust the manager's contents.
+type DiskManager struct {
+	dev      *platform.Device
+	pageSize int
+	pages    map[PageID][]byte
+	nextID   PageID
+	reads    int64
+	writes   int64
+}
+
+// NewDiskManager creates a disk manager for pages of pageSize bytes on dev.
+func NewDiskManager(dev *platform.Device, pageSize int) *DiskManager {
+	return &DiskManager{
+		dev:      dev,
+		pageSize: pageSize,
+		pages:    make(map[PageID][]byte),
+		nextID:   1,
+	}
+}
+
+// PageSize returns the configured page size.
+func (dm *DiskManager) PageSize() int { return dm.pageSize }
+
+// Allocate reserves a new page identity (no I/O is charged).
+func (dm *DiskManager) Allocate() PageID {
+	id := dm.nextID
+	dm.nextID++
+	return id
+}
+
+// Write stores a durable copy of data as page id, charging one page write.
+func (dm *DiskManager) Write(p *sim.Proc, id PageID, data []byte) {
+	if len(data) > dm.pageSize {
+		panic(fmt.Sprintf("storage: page %d image %dB exceeds page size %dB", id, len(data), dm.pageSize))
+	}
+	dm.writes++
+	dm.dev.Transfer(p, dm.pageSize)
+	img := make([]byte, len(data))
+	copy(img, data)
+	dm.pages[id] = img
+}
+
+// Read returns a copy of page id's durable image, charging one page read.
+// Reading a never-written page returns nil.
+func (dm *DiskManager) Read(p *sim.Proc, id PageID) []byte {
+	dm.reads++
+	dm.dev.Transfer(p, dm.pageSize)
+	img, ok := dm.pages[id]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(img))
+	copy(out, img)
+	return out
+}
+
+// Exists reports whether page id has a durable image (no I/O charged).
+func (dm *DiskManager) Exists(id PageID) bool { _, ok := dm.pages[id]; return ok }
+
+// Reads returns the number of page reads issued.
+func (dm *DiskManager) Reads() int64 { return dm.reads }
+
+// Writes returns the number of page writes issued.
+func (dm *DiskManager) Writes() int64 { return dm.writes }
+
+// --- Order-preserving key encodings ---
+//
+// B+Tree keys are byte strings compared lexicographically. These helpers
+// encode fixed-width integers so that byte order matches numeric order.
+
+// EncodeUint64 appends an order-preserving encoding of v to dst.
+func EncodeUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// Uint64Key returns a fresh order-preserving key for v.
+func Uint64Key(v uint64) []byte { return EncodeUint64(nil, v) }
+
+// DecodeUint64 reads an order-preserving uint64 from the front of b.
+func DecodeUint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+// CompositeKey builds an order-preserving key from fixed-width integer
+// parts, for multi-column primary keys like (warehouse, district, order).
+func CompositeKey(parts ...uint64) []byte {
+	out := make([]byte, 0, 8*len(parts))
+	for _, p := range parts {
+		out = EncodeUint64(out, p)
+	}
+	return out
+}
+
+// --- Record encoding ---
+//
+// Rows are encoded as a sequence of typed fields. The format is
+// length-prefixed per string field and fixed-width for integers, written
+// with encoding/binary; it is compact, deterministic and self-contained so
+// WAL before/after images can round-trip rows.
+
+// RecordWriter builds one encoded row.
+type RecordWriter struct {
+	buf []byte
+}
+
+// NewRecordWriter returns a writer with an optional initial capacity.
+func NewRecordWriter(capacity int) *RecordWriter {
+	return &RecordWriter{buf: make([]byte, 0, capacity)}
+}
+
+// Uint64 appends a fixed-width integer field.
+func (w *RecordWriter) Uint64(v uint64) *RecordWriter {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Uint32 appends a fixed-width 32-bit field.
+func (w *RecordWriter) Uint32(v uint32) *RecordWriter {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Bytes appends a length-prefixed variable-width field (max 64 KiB).
+func (w *RecordWriter) Bytes(v []byte) *RecordWriter {
+	if len(v) > 1<<16-1 {
+		panic("storage: record field exceeds 64KiB")
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(v)))
+	w.buf = append(w.buf, b[:]...)
+	w.buf = append(w.buf, v...)
+	return w
+}
+
+// String appends a length-prefixed string field.
+func (w *RecordWriter) String(v string) *RecordWriter { return w.Bytes([]byte(v)) }
+
+// Finish returns the encoded row. The writer can be reused after Reset.
+func (w *RecordWriter) Finish() []byte { return w.buf }
+
+// Len returns the current encoded size.
+func (w *RecordWriter) Len() int { return len(w.buf) }
+
+// Reset clears the writer for reuse.
+func (w *RecordWriter) Reset() { w.buf = w.buf[:0] }
+
+// RecordReader decodes a row written by RecordWriter in field order.
+type RecordReader struct {
+	buf []byte
+	off int
+}
+
+// NewRecordReader wraps an encoded row.
+func NewRecordReader(buf []byte) *RecordReader { return &RecordReader{buf: buf} }
+
+// Uint64 reads the next fixed-width integer field.
+func (r *RecordReader) Uint64() uint64 {
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Uint32 reads the next fixed-width 32-bit field.
+func (r *RecordReader) Uint32() uint32 {
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Bytes reads the next variable-width field (a view into the record).
+func (r *RecordReader) Bytes() []byte {
+	n := int(binary.LittleEndian.Uint16(r.buf[r.off:]))
+	r.off += 2
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// String reads the next variable-width field as a string.
+func (r *RecordReader) String() string { return string(r.Bytes()) }
+
+// Remaining returns the number of unread bytes.
+func (r *RecordReader) Remaining() int { return len(r.buf) - r.off }

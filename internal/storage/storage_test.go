@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+)
+
+func TestUint64KeyOrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b uint64) bool {
+		ka, kb := Uint64Key(a), Uint64Key(b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		}
+		return cmp == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64KeyRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 1 << 32, ^uint64(0)} {
+		if DecodeUint64(Uint64Key(v)) != v {
+			t.Errorf("round trip failed for %d", v)
+		}
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	keys := [][]byte{
+		CompositeKey(1, 1), CompositeKey(1, 2), CompositeKey(1, 10),
+		CompositeKey(2, 0), CompositeKey(2, 1), CompositeKey(10, 0),
+	}
+	sorted := make([][]byte, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+	for i := range keys {
+		if !bytes.Equal(keys[i], sorted[i]) {
+			t.Fatalf("composite keys not in numeric order at %d", i)
+		}
+	}
+}
+
+func TestRecordWriterReaderRoundTrip(t *testing.T) {
+	w := NewRecordWriter(64)
+	w.Uint64(42).Uint32(7).String("hello").Bytes([]byte{1, 2, 3}).Uint64(9)
+	buf := w.Finish()
+	r := NewRecordReader(buf)
+	if r.Uint64() != 42 || r.Uint32() != 7 || r.String() != "hello" {
+		t.Fatal("scalar fields corrupted")
+	}
+	if !bytes.Equal(r.Bytes(), []byte{1, 2, 3}) {
+		t.Fatal("bytes field corrupted")
+	}
+	if r.Uint64() != 9 || r.Remaining() != 0 {
+		t.Fatal("trailing field corrupted")
+	}
+}
+
+func TestRecordWriterReset(t *testing.T) {
+	w := NewRecordWriter(16)
+	w.Uint64(1)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.Uint32(5)
+	if NewRecordReader(w.Finish()).Uint32() != 5 {
+		t.Fatal("reuse after reset failed")
+	}
+}
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a uint64, b uint32, s string, raw []byte) bool {
+		if len(s) > 60000 {
+			s = s[:60000]
+		}
+		if len(raw) > 60000 {
+			raw = raw[:60000]
+		}
+		buf := NewRecordWriter(0).Uint64(a).Uint32(b).String(s).Bytes(raw).Finish()
+		r := NewRecordReader(buf)
+		return r.Uint64() == a && r.Uint32() == b && r.String() == s && bytes.Equal(r.Bytes(), raw)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiskManagerReadWrite(t *testing.T) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	dm := NewDiskManager(pl.Disk, 8192)
+	id := dm.Allocate()
+	if id == InvalidPage {
+		t.Fatal("allocated invalid page id")
+	}
+	env.Spawn("io", func(p *sim.Proc) {
+		dm.Write(p, id, []byte("payload"))
+		got := dm.Read(p, id)
+		if !bytes.Equal(got, []byte("payload")) {
+			t.Errorf("read %q", got)
+		}
+		// Copies must be independent.
+		got[0] = 'X'
+		again := dm.Read(p, id)
+		if again[0] == 'X' {
+			t.Error("disk image aliased with returned slice")
+		}
+		if dm.Read(p, 999) != nil {
+			t.Error("read of unwritten page returned data")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Reads() != 3 || dm.Writes() != 1 {
+		t.Fatalf("reads=%d writes=%d", dm.Reads(), dm.Writes())
+	}
+	if !dm.Exists(id) || dm.Exists(999) {
+		t.Fatal("existence wrong")
+	}
+}
+
+func TestDiskManagerChargesDevice(t *testing.T) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	dm := NewDiskManager(pl.Disk, 8192)
+	id := dm.Allocate()
+	env.Spawn("io", func(p *sim.Proc) {
+		dm.Write(p, id, make([]byte, 8192))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() < sim.Time(5*sim.Millisecond) {
+		t.Fatalf("page write took %v, want >= one seek", env.Now())
+	}
+}
+
+func TestDiskManagerOversizePagePanics(t *testing.T) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	dm := NewDiskManager(pl.Disk, 128)
+	env.Spawn("io", func(p *sim.Proc) {
+		dm.Write(p, dm.Allocate(), make([]byte, 256))
+	})
+	if err := env.Run(); err == nil {
+		t.Fatal("expected oversize panic")
+	}
+}

@@ -1,0 +1,157 @@
+// Package txn provides transaction lifecycle management shared by all
+// engines: id assignment, begin/commit/abort with logical WAL records,
+// in-memory undo for runtime rollback, and the group-commit handshake (the
+// commit signal fires when the commit record is durable, so workers hand
+// off and move on — the paper's "software can continue with something else
+// rather than blocking").
+package txn
+
+import (
+	"fmt"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// Transaction states.
+const (
+	Active State = iota + 1
+	Committed
+	Aborted
+)
+
+// UndoRec is one in-memory undo entry; Apply-ing undo records in reverse
+// order rolls a transaction back without touching the log.
+type UndoRec struct {
+	Table  uint16
+	Type   wal.RecType // the forward operation being undone
+	Key    []byte
+	Before []byte // pre-image for updates/deletes
+}
+
+// Txn is one transaction.
+type Txn struct {
+	ID      uint64
+	State   State
+	Undo    []UndoRec
+	LastLSN wal.LSN
+}
+
+// Config tunes the CPU costs of transaction management (the Figure 3
+// "Xct mgmt" component).
+type Config struct {
+	BeginInstr  int // context allocation, timestamp, registration
+	CommitInstr int // state transitions, release preparation
+	AbortInstr  int // per-abort fixed cost (undo is charged by the applier)
+}
+
+// DefaultConfig returns calibrated Shore-MT-like costs.
+func DefaultConfig() Config {
+	return Config{BeginInstr: 350, CommitInstr: 450, AbortInstr: 500}
+}
+
+// Manager hands out transactions and drives their lifecycle against a log.
+type Manager struct {
+	cfg    Config
+	log    wal.Appender
+	env    *sim.Env
+	nextID uint64
+
+	begins  int64
+	commits int64
+	aborts  int64
+}
+
+// NewManager creates a transaction manager appending to log.
+func NewManager(env *sim.Env, log wal.Appender, cfg Config) *Manager {
+	return &Manager{cfg: cfg, log: log, env: env, nextID: 1}
+}
+
+// Begin starts a transaction, logging a BEGIN record.
+func (m *Manager) Begin(t *platform.Task) *Txn {
+	m.begins++
+	tx := &Txn{ID: m.nextID, State: Active}
+	m.nextID++
+	t.Exec(stats.CompXct, m.cfg.BeginInstr)
+	rec := wal.Record{Txn: tx.ID, Type: wal.RecBegin}
+	tx.LastLSN = m.log.Append(t, &rec)
+	return tx
+}
+
+// LogInsert records an insert of key into table with the given post-image
+// and remembers how to undo it.
+func (m *Manager) LogInsert(t *platform.Task, tx *Txn, table uint16, key, after []byte) {
+	m.mustBeActive(tx)
+	rec := wal.Record{Txn: tx.ID, Type: wal.RecInsert, Table: table, Key: key, After: after}
+	tx.LastLSN = m.log.Append(t, &rec)
+	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecInsert, Key: key})
+}
+
+// LogUpdate records an update with before and after images.
+func (m *Manager) LogUpdate(t *platform.Task, tx *Txn, table uint16, key, before, after []byte) {
+	m.mustBeActive(tx)
+	rec := wal.Record{Txn: tx.ID, Type: wal.RecUpdate, Table: table, Key: key, Before: before, After: after}
+	tx.LastLSN = m.log.Append(t, &rec)
+	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecUpdate, Key: key, Before: before})
+}
+
+// LogDelete records a delete with its pre-image.
+func (m *Manager) LogDelete(t *platform.Task, tx *Txn, table uint16, key, before []byte) {
+	m.mustBeActive(tx)
+	rec := wal.Record{Txn: tx.ID, Type: wal.RecDelete, Table: table, Key: key, Before: before}
+	tx.LastLSN = m.log.Append(t, &rec)
+	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecDelete, Key: key, Before: before})
+}
+
+// Commit appends the commit record and returns a signal that fires when it
+// is durable. The caller chooses whether to await it (synchronous commit
+// latency) or hand it to a terminal (lazy commit, the DORA pattern).
+func (m *Manager) Commit(t *platform.Task, tx *Txn) *sim.Signal {
+	m.mustBeActive(tx)
+	m.commits++
+	t.Exec(stats.CompXct, m.cfg.CommitInstr)
+	rec := wal.Record{Txn: tx.ID, Type: wal.RecCommit}
+	lsn := m.log.Append(t, &rec)
+	tx.LastLSN = lsn
+	tx.State = Committed
+	tx.Undo = nil
+	done := sim.NewSignal(m.env)
+	m.log.CommitDurable(lsn, done)
+	return done
+}
+
+// Abort rolls the transaction back: apply is called for each undo record in
+// reverse order (the engine routes it to the right table), then an ABORT
+// record is appended. Abort does not wait for durability.
+func (m *Manager) Abort(t *platform.Task, tx *Txn, apply func(u UndoRec)) {
+	m.mustBeActive(tx)
+	m.aborts++
+	t.Exec(stats.CompXct, m.cfg.AbortInstr)
+	for i := len(tx.Undo) - 1; i >= 0; i-- {
+		apply(tx.Undo[i])
+	}
+	rec := wal.Record{Txn: tx.ID, Type: wal.RecAbort}
+	tx.LastLSN = m.log.Append(t, &rec)
+	tx.State = Aborted
+	tx.Undo = nil
+}
+
+func (m *Manager) mustBeActive(tx *Txn) {
+	if tx.State != Active {
+		panic(fmt.Sprintf("txn: operation on non-active transaction %d (state %d)", tx.ID, tx.State))
+	}
+}
+
+// Begins returns the number of transactions started.
+func (m *Manager) Begins() int64 { return m.begins }
+
+// Commits returns the number of commit records appended.
+func (m *Manager) Commits() int64 { return m.commits }
+
+// Aborts returns the number of aborted transactions.
+func (m *Manager) Aborts() int64 { return m.aborts }

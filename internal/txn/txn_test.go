@@ -1,0 +1,160 @@
+package txn
+
+import (
+	"bytes"
+	"testing"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/wal"
+)
+
+func fixture() (*sim.Env, *platform.Platform, *wal.Store, *wal.Manager, *Manager) {
+	env := sim.NewEnv()
+	pl := platform.New(env, platform.HC2())
+	store := wal.NewStore(pl.SSD)
+	lm := wal.NewManager(pl, store, wal.DefaultManagerConfig())
+	tm := NewManager(env, lm, DefaultConfig())
+	return env, pl, store, lm, tm
+}
+
+func TestBeginAssignsDistinctIDs(t *testing.T) {
+	env, pl, _, lm, tm := fixture()
+	env.Spawn("w", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		a := tm.Begin(task)
+		b := tm.Begin(task)
+		if a.ID == b.ID {
+			t.Error("duplicate txn ids")
+		}
+		if a.State != Active || b.State != Active {
+			t.Error("not active")
+		}
+		task.Flush()
+		lm.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Begins() != 2 {
+		t.Fatalf("begins=%d", tm.Begins())
+	}
+}
+
+func TestCommitBecomesDurableAndLogged(t *testing.T) {
+	env, pl, store, lm, tm := fixture()
+	env.Spawn("w", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		tx := tm.Begin(task)
+		tm.LogInsert(task, tx, 5, []byte("key"), []byte("row"))
+		done := tm.Commit(task, tx)
+		task.Flush()
+		done.Await(p)
+		if tx.State != Committed {
+			t.Error("state not committed")
+		}
+		lm.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var types []wal.RecType
+	if err := wal.Scan(store.Data(), 0, func(r wal.Record) bool {
+		types = append(types, r.Type)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []wal.RecType{wal.RecBegin, wal.RecInsert, wal.RecCommit}
+	if len(types) != len(want) {
+		t.Fatalf("log types %v", types)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("log types %v, want %v", types, want)
+		}
+	}
+}
+
+func TestAbortAppliesUndoInReverse(t *testing.T) {
+	env, pl, _, lm, tm := fixture()
+	var undone []string
+	env.Spawn("w", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		tx := tm.Begin(task)
+		tm.LogInsert(task, tx, 1, []byte("a"), []byte("va"))
+		tm.LogUpdate(task, tx, 1, []byte("b"), []byte("old"), []byte("new"))
+		tm.LogDelete(task, tx, 1, []byte("c"), []byte("vc"))
+		tm.Abort(task, tx, func(u UndoRec) {
+			undone = append(undone, string(u.Key))
+		})
+		if tx.State != Aborted {
+			t.Error("state not aborted")
+		}
+		task.Flush()
+		lm.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(undone) != 3 || undone[0] != "c" || undone[1] != "b" || undone[2] != "a" {
+		t.Fatalf("undo order %v, want reverse", undone)
+	}
+	if tm.Aborts() != 1 {
+		t.Fatalf("aborts=%d", tm.Aborts())
+	}
+}
+
+func TestUndoCarriesBeforeImages(t *testing.T) {
+	env, pl, _, lm, tm := fixture()
+	env.Spawn("w", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		tx := tm.Begin(task)
+		tm.LogUpdate(task, tx, 1, []byte("k"), []byte("before-img"), []byte("after-img"))
+		tm.Abort(task, tx, func(u UndoRec) {
+			if u.Type != wal.RecUpdate || !bytes.Equal(u.Before, []byte("before-img")) {
+				t.Errorf("undo rec %+v", u)
+			}
+		})
+		task.Flush()
+		lm.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperationsOnFinishedTxnPanic(t *testing.T) {
+	env, pl, _, _, tm := fixture()
+	env.Spawn("w", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], &stats.Breakdown{})
+		tx := tm.Begin(task)
+		tm.Commit(task, tx)
+		tm.LogInsert(task, tx, 1, []byte("x"), []byte("y")) // must panic
+	})
+	if err := env.Run(); err == nil {
+		t.Fatal("expected panic error")
+	}
+}
+
+func TestXctComponentCharged(t *testing.T) {
+	env, pl, _, lm, tm := fixture()
+	bd := &stats.Breakdown{}
+	env.Spawn("w", func(p *sim.Proc) {
+		task := pl.NewTask(p, pl.Cores[0], bd)
+		tx := tm.Begin(task)
+		tm.Commit(task, tx)
+		task.Flush()
+		lm.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Get(stats.CompXct) == 0 {
+		t.Fatal("no Xct mgmt time charged")
+	}
+	if bd.Get(stats.CompLog) == 0 {
+		t.Fatal("log records should charge Log mgmt")
+	}
+}

@@ -1,0 +1,483 @@
+// Package tatp implements the TATP (Telecom Application Transaction
+// Processing) benchmark: the Subscriber / Access_Info / Special_Facility /
+// Call_Forwarding schema, the non-uniform subscriber distribution, and all
+// seven transaction types in the standard 35/35/10/2/14/2/2 mix. TATP
+// UpdateSubscriberData is the left bar of the paper's Figure 3.
+package tatp
+
+import (
+	"fmt"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/storage"
+)
+
+// Table ids.
+const (
+	TSubscriber uint16 = iota + 1
+	TAccessInfo
+	TSpecialFacility
+	TCallForwarding
+	TSubNbrIdx // secondary index: sub_nbr -> s_id
+)
+
+// Config scales the benchmark.
+type Config struct {
+	// Subscribers is the scale factor (TATP default 100000).
+	Subscribers int
+}
+
+// DefaultConfig returns the 100k-subscriber configuration used for the
+// Figure 3 and Figure 4 experiments.
+func DefaultConfig() Config { return Config{Subscribers: 100000} }
+
+// Workload implements core.Workload.
+type Workload struct {
+	cfg Config
+}
+
+// New creates a TATP workload.
+func New(cfg Config) *Workload {
+	if cfg.Subscribers < 1 {
+		cfg.Subscribers = 1
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements core.Workload.
+func (w *Workload) Name() string { return "tatp" }
+
+// Subscribers returns the scale factor.
+func (w *Workload) Subscribers() int { return w.cfg.Subscribers }
+
+// Tables implements core.Workload.
+func (w *Workload) Tables() []core.TableDef {
+	return []core.TableDef{
+		{ID: TSubscriber, Name: "subscriber", Order: 128},
+		{ID: TAccessInfo, Name: "access_info", Order: 128},
+		{ID: TSpecialFacility, Name: "special_facility", Order: 128},
+		{ID: TCallForwarding, Name: "call_forwarding", Order: 128},
+		{ID: TSubNbrIdx, Name: "sub_nbr_idx", Order: 128},
+	}
+}
+
+// Scheme implements core.Workload: everything routes by subscriber id, so
+// a subscriber's rows across all tables colocate in one partition and the
+// subscriber is the DORA entity.
+func (w *Workload) Scheme(partitions int) core.PartitionScheme {
+	return core.PartitionScheme{
+		Partitions: partitions,
+		Route: func(table uint16, key []byte) int {
+			return int(sidOf(table, key) % uint64(partitions))
+		},
+		Entity: func(table uint16, key []byte) string {
+			return fmt.Sprintf("s%d", sidOf(table, key))
+		},
+	}
+}
+
+// sidOf extracts the subscriber id from any table's key.
+func sidOf(table uint16, key []byte) uint64 {
+	if table == TSubNbrIdx {
+		return parseSubNbr(key)
+	}
+	return storage.DecodeUint64(key)
+}
+
+// SubNbr renders the 15-digit subscriber number of s_id.
+func SubNbr(sid uint64) []byte {
+	return []byte(fmt.Sprintf("%015d", sid))
+}
+
+func parseSubNbr(nbr []byte) uint64 {
+	var v uint64
+	for _, c := range nbr {
+		v = v*10 + uint64(c-'0')
+	}
+	return v
+}
+
+// Row encodings. Fixed field order via storage.RecordWriter/Reader.
+
+// SubscriberRow is the decoded Subscriber tuple.
+type SubscriberRow struct {
+	SID    uint64
+	Bits   uint32 // bit_1..bit_10
+	Hex    uint64 // hex_1..hex_10, 4 bits each
+	Byte2  []byte // byte2_1..byte2_10
+	MSC    uint32
+	VLR    uint32
+	SubNbr string
+}
+
+// Encode serializes the row.
+func (r *SubscriberRow) Encode() []byte {
+	w := storage.NewRecordWriter(64)
+	w.Uint64(r.SID).Uint32(r.Bits).Uint64(r.Hex).Bytes(r.Byte2).Uint32(r.MSC).Uint32(r.VLR).String(r.SubNbr)
+	return w.Finish()
+}
+
+// DecodeSubscriber parses a Subscriber row.
+func DecodeSubscriber(b []byte) SubscriberRow {
+	rd := storage.NewRecordReader(b)
+	return SubscriberRow{
+		SID: rd.Uint64(), Bits: rd.Uint32(), Hex: rd.Uint64(),
+		Byte2: append([]byte(nil), rd.Bytes()...), MSC: rd.Uint32(), VLR: rd.Uint32(), SubNbr: rd.String(),
+	}
+}
+
+// SpecialFacilityRow is the decoded Special_Facility tuple.
+type SpecialFacilityRow struct {
+	SID      uint64
+	SFType   uint32
+	IsActive uint32
+	ErrorCtl uint32
+	DataA    uint32
+	DataB    string
+}
+
+// Encode serializes the row.
+func (r *SpecialFacilityRow) Encode() []byte {
+	w := storage.NewRecordWriter(40)
+	w.Uint64(r.SID).Uint32(r.SFType).Uint32(r.IsActive).Uint32(r.ErrorCtl).Uint32(r.DataA).String(r.DataB)
+	return w.Finish()
+}
+
+// DecodeSpecialFacility parses a Special_Facility row.
+func DecodeSpecialFacility(b []byte) SpecialFacilityRow {
+	rd := storage.NewRecordReader(b)
+	return SpecialFacilityRow{
+		SID: rd.Uint64(), SFType: rd.Uint32(), IsActive: rd.Uint32(),
+		ErrorCtl: rd.Uint32(), DataA: rd.Uint32(), DataB: rd.String(),
+	}
+}
+
+// CallForwardingRow is the decoded Call_Forwarding tuple.
+type CallForwardingRow struct {
+	SID       uint64
+	SFType    uint32
+	StartTime uint32 // 0, 8, 16
+	EndTime   uint32
+	NumberX   string
+}
+
+// Encode serializes the row.
+func (r *CallForwardingRow) Encode() []byte {
+	w := storage.NewRecordWriter(48)
+	w.Uint64(r.SID).Uint32(r.SFType).Uint32(r.StartTime).Uint32(r.EndTime).String(r.NumberX)
+	return w.Finish()
+}
+
+// DecodeCallForwarding parses a Call_Forwarding row.
+func DecodeCallForwarding(b []byte) CallForwardingRow {
+	rd := storage.NewRecordReader(b)
+	return CallForwardingRow{
+		SID: rd.Uint64(), SFType: rd.Uint32(), StartTime: rd.Uint32(),
+		EndTime: rd.Uint32(), NumberX: rd.String(),
+	}
+}
+
+// accessInfoRow encodes an Access_Info tuple (only data1 is read back).
+func accessInfoRow(sid uint64, aiType uint32, r *sim.Rand) []byte {
+	w := storage.NewRecordWriter(32)
+	w.Uint64(sid).Uint32(aiType).Uint32(uint32(r.Intn(256))).Uint32(uint32(r.Intn(256)))
+	w.String("abc").String("abcde")
+	return w.Finish()
+}
+
+// Keys.
+
+// SubscriberKey returns the primary key for s_id.
+func SubscriberKey(sid uint64) []byte { return storage.Uint64Key(sid) }
+
+// AccessInfoKey returns the (s_id, ai_type) key.
+func AccessInfoKey(sid uint64, aiType uint32) []byte {
+	return storage.CompositeKey(sid, uint64(aiType))
+}
+
+// SFKey returns the (s_id, sf_type) key.
+func SFKey(sid uint64, sfType uint32) []byte {
+	return storage.CompositeKey(sid, uint64(sfType))
+}
+
+// CFKey returns the (s_id, sf_type, start_time) key.
+func CFKey(sid uint64, sfType, start uint32) []byte {
+	return storage.CompositeKey(sid, uint64(sfType), uint64(start))
+}
+
+// Populate implements core.Workload: the spec's population rules — every
+// subscriber, 1-4 access-info rows, 1-4 special facilities (85% active),
+// 0-3 call forwardings per facility.
+func (w *Workload) Populate(load func(table uint16, key, val []byte), r *sim.Rand) {
+	n := w.cfg.Subscribers
+	for i := 1; i <= n; i++ {
+		sid := uint64(i)
+		sub := SubscriberRow{
+			SID:    sid,
+			Bits:   uint32(r.Uint64() & 0x3ff),
+			Hex:    r.Uint64() & 0xffffffffff,
+			Byte2:  randBytes(r, 10),
+			MSC:    uint32(r.Uint64()),
+			VLR:    uint32(r.Uint64()),
+			SubNbr: string(SubNbr(sid)),
+		}
+		load(TSubscriber, SubscriberKey(sid), sub.Encode())
+		load(TSubNbrIdx, SubNbr(sid), storage.Uint64Key(sid))
+
+		for _, ai := range pickTypes(r) {
+			load(TAccessInfo, AccessInfoKey(sid, ai), accessInfoRow(sid, ai, r))
+		}
+		for _, sf := range pickTypes(r) {
+			active := uint32(0)
+			if r.Bool(0.85) {
+				active = 1
+			}
+			row := SpecialFacilityRow{SID: sid, SFType: sf, IsActive: active,
+				ErrorCtl: uint32(r.Intn(256)), DataA: uint32(r.Intn(256)), DataB: "fghij"}
+			load(TSpecialFacility, SFKey(sid, sf), row.Encode())
+			nCF := r.Intn(4)
+			starts := []uint32{0, 8, 16}
+			for c := 0; c < nCF; c++ {
+				st := starts[c%3]
+				cf := CallForwardingRow{SID: sid, SFType: sf, StartTime: st,
+					EndTime: st + uint32(r.Range(1, 8)), NumberX: string(SubNbr(uint64(r.Range(1, n))))}
+				load(TCallForwarding, CFKey(sid, sf, st), cf.Encode())
+			}
+		}
+	}
+}
+
+// pickTypes returns a random non-empty subset size 1-4 of types {1,2,3,4}
+// (the spec's "1 to 4 rows, types distinct").
+func pickTypes(r *sim.Rand) []uint32 {
+	count := r.Range(1, 4)
+	perm := r.Perm(4)
+	out := make([]uint32, count)
+	for i := 0; i < count; i++ {
+		out[i] = uint32(perm[i] + 1)
+	}
+	return out
+}
+
+func randBytes(r *sim.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return b
+}
+
+// nuRand is TATP's non-uniform subscriber id generator.
+func (w *Workload) nuRand(r *sim.Rand) uint64 {
+	n := uint64(w.cfg.Subscribers)
+	a := uint64(65535)
+	if n > 1000000 {
+		a = 1048575
+	}
+	return ((r.Uint64()%(a+1))|(1+r.Uint64()%n))%n + 1
+}
+
+// Transaction mix percentages (TATP standard).
+const (
+	pGetSubscriberData = 35
+	pGetNewDestination = 10
+	pGetAccessData     = 35
+	pUpdateSubData     = 2
+	pUpdateLocation    = 14
+	pInsertCF          = 2
+	// DeleteCallForwarding takes the remaining 2%.
+)
+
+// NextTxn implements core.Workload.
+func (w *Workload) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
+	p := r.Intn(100)
+	switch {
+	case p < pGetSubscriberData:
+		return "GetSubscriberData", w.GetSubscriberData(r)
+	case p < pGetSubscriberData+pGetNewDestination:
+		return "GetNewDestination", w.GetNewDestination(r)
+	case p < pGetSubscriberData+pGetNewDestination+pGetAccessData:
+		return "GetAccessData", w.GetAccessData(r)
+	case p < pGetSubscriberData+pGetNewDestination+pGetAccessData+pUpdateSubData:
+		return "UpdateSubscriberData", w.UpdateSubscriberData(r)
+	case p < pGetSubscriberData+pGetNewDestination+pGetAccessData+pUpdateSubData+pUpdateLocation:
+		return "UpdateLocation", w.UpdateLocation(r)
+	case p < pGetSubscriberData+pGetNewDestination+pGetAccessData+pUpdateSubData+pUpdateLocation+pInsertCF:
+		return "InsertCallForwarding", w.InsertCallForwarding(r)
+	default:
+		return "DeleteCallForwarding", w.DeleteCallForwarding(r)
+	}
+}
+
+// GetSubscriberData reads one subscriber row (read-only, 35%).
+func (w *Workload) GetSubscriberData(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TSubscriber, Key: SubscriberKey(sid), Body: func(c core.AccessCtx) bool {
+			c.Read(TSubscriber, SubscriberKey(sid))
+			return true
+		}})
+	}
+}
+
+// GetAccessData reads one access-info row (read-only, 35%; ~62.5% hit).
+func (w *Workload) GetAccessData(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	ai := uint32(r.Range(1, 4))
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TAccessInfo, Key: AccessInfoKey(sid, ai), Body: func(c core.AccessCtx) bool {
+			c.Read(TAccessInfo, AccessInfoKey(sid, ai))
+			return true
+		}})
+	}
+}
+
+// GetNewDestination reads a special facility and its active call
+// forwardings (read-only, 10%).
+func (w *Workload) GetNewDestination(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	sf := uint32(r.Range(1, 4))
+	startTime := uint32(r.Intn(3) * 8)
+	endTime := uint32(r.Range(1, 24))
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TSpecialFacility, Key: SFKey(sid, sf), Body: func(c core.AccessCtx) bool {
+			val, ok := c.Read(TSpecialFacility, SFKey(sid, sf))
+			if !ok {
+				return true // unsuccessful but committed
+			}
+			row := DecodeSpecialFacility(val)
+			if row.IsActive == 0 {
+				return true
+			}
+			c.Scan(TCallForwarding, CFKey(sid, sf, 0), CFKey(sid, sf+1, 0), func(k, v []byte) bool {
+				cf := DecodeCallForwarding(v)
+				_ = cf.StartTime <= startTime && startTime < cf.EndTime && endTime <= cf.EndTime
+				return true
+			})
+			return true
+		}})
+	}
+}
+
+// UpdateSubscriberData updates subscriber bit_1 and a special facility's
+// data_a (2%; rolls back when the facility row is absent — the Figure 3
+// left bar workload).
+func (w *Workload) UpdateSubscriberData(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	sf := uint32(r.Range(1, 4))
+	bit := uint32(1) << uint(r.Intn(10))
+	dataA := uint32(r.Intn(256))
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TSubscriber, Key: SubscriberKey(sid), Body: func(c core.AccessCtx) bool {
+			val, ok := c.Read(TSubscriber, SubscriberKey(sid))
+			if !ok {
+				return false
+			}
+			sub := DecodeSubscriber(val)
+			sub.Bits ^= bit
+			if !c.Update(TSubscriber, SubscriberKey(sid), sub.Encode()) {
+				return false
+			}
+			sfVal, ok := c.Read(TSpecialFacility, SFKey(sid, sf))
+			if !ok {
+				return false // spec: roll back
+			}
+			row := DecodeSpecialFacility(sfVal)
+			row.DataA = dataA
+			return c.Update(TSpecialFacility, SFKey(sid, sf), row.Encode())
+		}})
+	}
+}
+
+// UpdateLocation updates vlr_location, located via the sub_nbr secondary
+// index (14%).
+func (w *Workload) UpdateLocation(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	nbr := SubNbr(sid)
+	vlr := uint32(r.Uint64())
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TSubNbrIdx, Key: nbr, Body: func(c core.AccessCtx) bool {
+			idxVal, ok := c.Read(TSubNbrIdx, nbr)
+			if !ok {
+				return false
+			}
+			target := storage.DecodeUint64(idxVal)
+			val, ok := c.Read(TSubscriber, SubscriberKey(target))
+			if !ok {
+				return false
+			}
+			sub := DecodeSubscriber(val)
+			sub.VLR = vlr
+			return c.Update(TSubscriber, SubscriberKey(target), sub.Encode())
+		}})
+	}
+}
+
+// InsertCallForwarding inserts a call-forwarding row (2%; fails when the
+// facility is absent or the row already exists).
+func (w *Workload) InsertCallForwarding(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	sf := uint32(r.Range(1, 4))
+	start := uint32(r.Intn(3) * 8)
+	end := start + uint32(r.Range(1, 8))
+	nbr := SubNbr(sid)
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TSubNbrIdx, Key: nbr, Body: func(c core.AccessCtx) bool {
+			idxVal, ok := c.Read(TSubNbrIdx, nbr)
+			if !ok {
+				return false
+			}
+			target := storage.DecodeUint64(idxVal)
+			if _, ok := c.Read(TSpecialFacility, SFKey(target, sf)); !ok {
+				return false
+			}
+			row := CallForwardingRow{SID: target, SFType: sf, StartTime: start, EndTime: end, NumberX: string(nbr)}
+			return c.Insert(TCallForwarding, CFKey(target, sf, start), row.Encode())
+		}})
+	}
+}
+
+// DeleteCallForwarding removes a call-forwarding row (2%; fails when
+// absent).
+func (w *Workload) DeleteCallForwarding(r *sim.Rand) core.TxnLogic {
+	sid := w.nuRand(r)
+	sf := uint32(r.Range(1, 4))
+	start := uint32(r.Intn(3) * 8)
+	nbr := SubNbr(sid)
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TSubNbrIdx, Key: nbr, Body: func(c core.AccessCtx) bool {
+			idxVal, ok := c.Read(TSubNbrIdx, nbr)
+			if !ok {
+				return false
+			}
+			target := storage.DecodeUint64(idxVal)
+			return c.Delete(TCallForwarding, CFKey(target, sf, start))
+		}})
+	}
+}
+
+// UpdateSubDataOnly returns a workload variant that issues only
+// UpdateSubscriberData transactions — the Figure 3 left-bar configuration.
+func (w *Workload) UpdateSubDataOnly() core.Workload {
+	return &singleTxn{w: w, name: "tatp-updsubdata", txName: "UpdateSubscriberData",
+		gen: w.UpdateSubscriberData}
+}
+
+// singleTxn wraps a workload to emit a single transaction type.
+type singleTxn struct {
+	w      *Workload
+	name   string
+	txName string
+	gen    func(r *sim.Rand) core.TxnLogic
+}
+
+func (s *singleTxn) Name() string                               { return s.name }
+func (s *singleTxn) Tables() []core.TableDef                    { return s.w.Tables() }
+func (s *singleTxn) Scheme(partitions int) core.PartitionScheme { return s.w.Scheme(partitions) }
+func (s *singleTxn) Populate(load func(t uint16, k, v []byte), r *sim.Rand) {
+	s.w.Populate(load, r)
+}
+func (s *singleTxn) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
+	return s.txName, s.gen(r)
+}

@@ -1,0 +1,491 @@
+// Package tpcc implements the TPC-C benchmark: the nine-table warehouse
+// schema, spec population rules (scaled), the NURand input distributions,
+// and all five transactions in the standard 45/43/4/4/4 mix. TPC-C
+// StockLevel is the right bar of the paper's Figure 3. Routing follows the
+// DORA convention: district-owned tables partition by (warehouse,
+// district), stock by (warehouse, item), and the district is the entity
+// lock granule — the real TPC-C contention point.
+package tpcc
+
+import (
+	"fmt"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/storage"
+)
+
+// Table ids.
+const (
+	TWarehouse uint16 = iota + 10
+	TDistrict
+	TCustomer
+	TCustNameIdx // (w, d, last, c) -> c
+	TItem
+	TStock
+	TOrder
+	TOrderCustIdx // (w, d, c, o) -> o
+	TNewOrder
+	TOrderLine
+	THistory
+)
+
+// Config scales the benchmark. The spec values are Districts=10,
+// CustomersPerDistrict=3000, Items=100000, InitialOrdersPerDistrict=3000;
+// tests shrink them.
+type Config struct {
+	Warehouses               int
+	Districts                int
+	CustomersPerDistrict     int
+	Items                    int
+	InitialOrdersPerDistrict int
+}
+
+// DefaultConfig returns the scaled configuration used by the figure
+// generators: 4 warehouses at spec ratios, with a reduced initial order
+// backlog to keep population tractable.
+func DefaultConfig() Config {
+	return Config{Warehouses: 4, Districts: 10, CustomersPerDistrict: 3000, Items: 100000, InitialOrdersPerDistrict: 100}
+}
+
+// SmallConfig returns a miniature database for unit tests.
+func SmallConfig() Config {
+	return Config{Warehouses: 2, Districts: 2, CustomersPerDistrict: 30, Items: 200, InitialOrdersPerDistrict: 10}
+}
+
+// Workload implements core.Workload.
+type Workload struct {
+	cfg   Config
+	cID   uint64 // NURand C constants, fixed per run
+	cLast uint64
+	cItem uint64
+
+	// parts records the partition count of the last Scheme call so
+	// StockLevel can batch its stock probes per partition (8 before any
+	// Scheme call).
+	parts int
+}
+
+// New creates a TPC-C workload.
+func New(cfg Config) *Workload {
+	return &Workload{cfg: cfg, cID: 259, cLast: 173, cItem: 7911, parts: 8}
+}
+
+// stockPartition mirrors Scheme's stock routing for probe batching.
+func (w *Workload) stockPartition(wid, iid uint64) int {
+	return int((wid*7919 + iid) % uint64(w.parts))
+}
+
+// Name implements core.Workload.
+func (w *Workload) Name() string { return "tpcc" }
+
+// Config returns the scale parameters.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Tables implements core.Workload.
+func (w *Workload) Tables() []core.TableDef {
+	return []core.TableDef{
+		{ID: TWarehouse, Name: "warehouse", Order: 64},
+		{ID: TDistrict, Name: "district", Order: 64},
+		{ID: TCustomer, Name: "customer", Order: 128},
+		{ID: TCustNameIdx, Name: "customer_name_idx", Order: 128},
+		{ID: TItem, Name: "item", Order: 128},
+		{ID: TStock, Name: "stock", Order: 128},
+		{ID: TOrder, Name: "orders", Order: 128},
+		{ID: TOrderCustIdx, Name: "order_cust_idx", Order: 128},
+		{ID: TNewOrder, Name: "new_order", Order: 128},
+		{ID: TOrderLine, Name: "order_line", Order: 128},
+		{ID: THistory, Name: "history", Order: 128},
+	}
+}
+
+// Scheme implements core.Workload.
+func (w *Workload) Scheme(partitions int) core.PartitionScheme {
+	w.parts = partitions
+	return core.PartitionScheme{
+		Partitions: partitions,
+		Route: func(table uint16, key []byte) int {
+			switch table {
+			case TItem:
+				return int(storage.DecodeUint64(key) % uint64(partitions))
+			case TStock:
+				wid := storage.DecodeUint64(key)
+				iid := storage.DecodeUint64(key[8:])
+				return int((wid*7919 + iid) % uint64(partitions))
+			case TWarehouse:
+				return int(storage.DecodeUint64(key) % uint64(partitions))
+			default:
+				// District-owned tables: (w, d) are the first two fields.
+				wid := storage.DecodeUint64(key)
+				did := storage.DecodeUint64(key[8:])
+				return int((wid*31 + did) % uint64(partitions))
+			}
+		},
+		Entity: func(table uint16, key []byte) string {
+			switch table {
+			case TItem:
+				return "" // read-only after load
+			case TStock:
+				return fmt.Sprintf("s%d.%d", storage.DecodeUint64(key), storage.DecodeUint64(key[8:]))
+			case TWarehouse:
+				return fmt.Sprintf("w%d", storage.DecodeUint64(key))
+			default:
+				return fmt.Sprintf("d%d.%d", storage.DecodeUint64(key), storage.DecodeUint64(key[8:]))
+			}
+		},
+	}
+}
+
+// Keys.
+
+// WarehouseKey returns warehouse w's key (1-based).
+func WarehouseKey(wid uint64) []byte { return storage.Uint64Key(wid) }
+
+// DistrictKey returns district (w, d)'s key.
+func DistrictKey(wid, did uint64) []byte { return storage.CompositeKey(wid, did) }
+
+// CustomerKey returns customer (w, d, c)'s key.
+func CustomerKey(wid, did, cid uint64) []byte { return storage.CompositeKey(wid, did, cid) }
+
+// custNameKey builds the last-name index key (w, d, last, c).
+func custNameKey(wid, did uint64, last string, cid uint64) []byte {
+	k := storage.CompositeKey(wid, did)
+	k = append(k, []byte(last)...)
+	k = append(k, 0)
+	return storage.EncodeUint64(k, cid)
+}
+
+// custNamePrefix bounds a last-name scan.
+func custNamePrefix(wid, did uint64, last string) (from, to []byte) {
+	base := storage.CompositeKey(wid, did)
+	from = append(append(append([]byte(nil), base...), []byte(last)...), 0)
+	to = append(append(append([]byte(nil), base...), []byte(last)...), 1)
+	return from, to
+}
+
+// ItemKey returns item i's key.
+func ItemKey(iid uint64) []byte { return storage.Uint64Key(iid) }
+
+// StockKey returns stock (w, i)'s key.
+func StockKey(wid, iid uint64) []byte { return storage.CompositeKey(wid, iid) }
+
+// OrderKey returns order (w, d, o)'s key.
+func OrderKey(wid, did, oid uint64) []byte { return storage.CompositeKey(wid, did, oid) }
+
+// OrderLineKey returns order line (w, d, o, ol)'s key.
+func OrderLineKey(wid, did, oid, ol uint64) []byte {
+	return storage.CompositeKey(wid, did, oid, ol)
+}
+
+// Rows.
+
+// WarehouseRow is the decoded warehouse tuple.
+type WarehouseRow struct {
+	WID uint64
+	Tax uint32 // basis points
+	YTD uint64 // cents
+}
+
+// Encode serializes the row.
+func (r *WarehouseRow) Encode() []byte {
+	return storage.NewRecordWriter(24).Uint64(r.WID).Uint32(r.Tax).Uint64(r.YTD).Finish()
+}
+
+// DecodeWarehouse parses a warehouse row.
+func DecodeWarehouse(b []byte) WarehouseRow {
+	rd := storage.NewRecordReader(b)
+	return WarehouseRow{WID: rd.Uint64(), Tax: rd.Uint32(), YTD: rd.Uint64()}
+}
+
+// DistrictRow is the decoded district tuple.
+type DistrictRow struct {
+	WID, DID uint64
+	Tax      uint32
+	YTD      uint64
+	NextOID  uint64
+}
+
+// Encode serializes the row.
+func (r *DistrictRow) Encode() []byte {
+	return storage.NewRecordWriter(40).Uint64(r.WID).Uint64(r.DID).Uint32(r.Tax).Uint64(r.YTD).Uint64(r.NextOID).Finish()
+}
+
+// DecodeDistrict parses a district row.
+func DecodeDistrict(b []byte) DistrictRow {
+	rd := storage.NewRecordReader(b)
+	return DistrictRow{WID: rd.Uint64(), DID: rd.Uint64(), Tax: rd.Uint32(), YTD: rd.Uint64(), NextOID: rd.Uint64()}
+}
+
+// CustomerRow is the decoded customer tuple.
+type CustomerRow struct {
+	WID, DID, CID uint64
+	Last          string
+	Credit        uint32 // 0 = GC, 1 = BC
+	Discount      uint32 // basis points
+	Balance       int64  // cents
+	YTDPayment    uint64
+	PaymentCnt    uint32
+	DeliveryCnt   uint32
+	Data          string
+}
+
+// Encode serializes the row.
+func (r *CustomerRow) Encode() []byte {
+	w := storage.NewRecordWriter(96)
+	w.Uint64(r.WID).Uint64(r.DID).Uint64(r.CID).String(r.Last).Uint32(r.Credit).Uint32(r.Discount)
+	w.Uint64(uint64(r.Balance)).Uint64(r.YTDPayment).Uint32(r.PaymentCnt).Uint32(r.DeliveryCnt).String(r.Data)
+	return w.Finish()
+}
+
+// DecodeCustomer parses a customer row.
+func DecodeCustomer(b []byte) CustomerRow {
+	rd := storage.NewRecordReader(b)
+	return CustomerRow{
+		WID: rd.Uint64(), DID: rd.Uint64(), CID: rd.Uint64(), Last: rd.String(),
+		Credit: rd.Uint32(), Discount: rd.Uint32(), Balance: int64(rd.Uint64()),
+		YTDPayment: rd.Uint64(), PaymentCnt: rd.Uint32(), DeliveryCnt: rd.Uint32(), Data: rd.String(),
+	}
+}
+
+// ItemRow is the decoded item tuple.
+type ItemRow struct {
+	IID   uint64
+	Price uint32 // cents
+	Name  string
+}
+
+// Encode serializes the row.
+func (r *ItemRow) Encode() []byte {
+	return storage.NewRecordWriter(40).Uint64(r.IID).Uint32(r.Price).String(r.Name).Finish()
+}
+
+// DecodeItem parses an item row.
+func DecodeItem(b []byte) ItemRow {
+	rd := storage.NewRecordReader(b)
+	return ItemRow{IID: rd.Uint64(), Price: rd.Uint32(), Name: rd.String()}
+}
+
+// StockRow is the decoded stock tuple.
+type StockRow struct {
+	WID, IID  uint64
+	Qty       int64
+	YTD       uint64
+	OrderCnt  uint32
+	RemoteCnt uint32
+}
+
+// Encode serializes the row.
+func (r *StockRow) Encode() []byte {
+	w := storage.NewRecordWriter(48)
+	w.Uint64(r.WID).Uint64(r.IID).Uint64(uint64(r.Qty)).Uint64(r.YTD).Uint32(r.OrderCnt).Uint32(r.RemoteCnt)
+	return w.Finish()
+}
+
+// DecodeStock parses a stock row.
+func DecodeStock(b []byte) StockRow {
+	rd := storage.NewRecordReader(b)
+	return StockRow{WID: rd.Uint64(), IID: rd.Uint64(), Qty: int64(rd.Uint64()), YTD: rd.Uint64(), OrderCnt: rd.Uint32(), RemoteCnt: rd.Uint32()}
+}
+
+// OrderRow is the decoded order tuple.
+type OrderRow struct {
+	WID, DID, OID, CID uint64
+	EntryD             uint64
+	Carrier            uint32 // 0 = undelivered
+	OLCnt              uint32
+	AllLocal           uint32
+}
+
+// Encode serializes the row.
+func (r *OrderRow) Encode() []byte {
+	w := storage.NewRecordWriter(64)
+	w.Uint64(r.WID).Uint64(r.DID).Uint64(r.OID).Uint64(r.CID).Uint64(r.EntryD).Uint32(r.Carrier).Uint32(r.OLCnt).Uint32(r.AllLocal)
+	return w.Finish()
+}
+
+// DecodeOrder parses an order row.
+func DecodeOrder(b []byte) OrderRow {
+	rd := storage.NewRecordReader(b)
+	return OrderRow{WID: rd.Uint64(), DID: rd.Uint64(), OID: rd.Uint64(), CID: rd.Uint64(), EntryD: rd.Uint64(), Carrier: rd.Uint32(), OLCnt: rd.Uint32(), AllLocal: rd.Uint32()}
+}
+
+// OrderLineRow is the decoded order-line tuple.
+type OrderLineRow struct {
+	WID, DID, OID, OL uint64
+	IID               uint64
+	SupplyW           uint64
+	Qty               uint32
+	Amount            uint64 // cents
+	DeliveryD         uint64 // 0 = undelivered
+	DistInfo          string
+}
+
+// Encode serializes the row.
+func (r *OrderLineRow) Encode() []byte {
+	w := storage.NewRecordWriter(96)
+	w.Uint64(r.WID).Uint64(r.DID).Uint64(r.OID).Uint64(r.OL).Uint64(r.IID).Uint64(r.SupplyW)
+	w.Uint32(r.Qty).Uint64(r.Amount).Uint64(r.DeliveryD).String(r.DistInfo)
+	return w.Finish()
+}
+
+// DecodeOrderLine parses an order-line row.
+func DecodeOrderLine(b []byte) OrderLineRow {
+	rd := storage.NewRecordReader(b)
+	return OrderLineRow{
+		WID: rd.Uint64(), DID: rd.Uint64(), OID: rd.Uint64(), OL: rd.Uint64(), IID: rd.Uint64(),
+		SupplyW: rd.Uint64(), Qty: rd.Uint32(), Amount: rd.Uint64(), DeliveryD: rd.Uint64(), DistInfo: rd.String(),
+	}
+}
+
+// Last-name syllables (spec clause 4.3.2.3).
+var syllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName renders the spec last name for a 0-999 number.
+func LastName(num int) string {
+	return syllables[num/100] + syllables[(num/10)%10] + syllables[num%10]
+}
+
+// nuRand is the spec's non-uniform random generator.
+func nuRand(r *sim.Rand, a, c, x, y uint64) uint64 {
+	return (((r.Uint64()%(a+1))|(x+r.Uint64()%(y-x+1)))+c)%(y-x+1) + x
+}
+
+func (w *Workload) randCID(r *sim.Rand) uint64 {
+	return nuRand(r, 1023, w.cID, 1, uint64(w.cfg.CustomersPerDistrict))
+}
+
+func (w *Workload) randItem(r *sim.Rand) uint64 {
+	return nuRand(r, 8191, w.cItem, 1, uint64(w.cfg.Items))
+}
+
+func (w *Workload) randLastNum(r *sim.Rand) int {
+	span := uint64(w.cfg.CustomersPerDistrict / 3)
+	if span < 1 {
+		span = 1
+	}
+	if span > 1000 {
+		span = 1000
+	}
+	return int(nuRand(r, 255, w.cLast, 0, span-1))
+}
+
+// Populate implements core.Workload.
+func (w *Workload) Populate(load func(table uint16, key, val []byte), r *sim.Rand) {
+	cfg := w.cfg
+	for i := 1; i <= cfg.Items; i++ {
+		row := ItemRow{IID: uint64(i), Price: uint32(r.Range(100, 10000)), Name: fmt.Sprintf("item-%d", i)}
+		load(TItem, ItemKey(uint64(i)), row.Encode())
+	}
+	for wid := 1; wid <= cfg.Warehouses; wid++ {
+		wrow := WarehouseRow{WID: uint64(wid), Tax: uint32(r.Intn(2001))}
+		load(TWarehouse, WarehouseKey(uint64(wid)), wrow.Encode())
+		for i := 1; i <= cfg.Items; i++ {
+			srow := StockRow{WID: uint64(wid), IID: uint64(i), Qty: int64(r.Range(10, 100))}
+			load(TStock, StockKey(uint64(wid), uint64(i)), srow.Encode())
+		}
+		for did := 1; did <= cfg.Districts; did++ {
+			nOrders := cfg.InitialOrdersPerDistrict
+			drow := DistrictRow{WID: uint64(wid), DID: uint64(did), Tax: uint32(r.Intn(2001)), NextOID: uint64(nOrders + 1)}
+			load(TDistrict, DistrictKey(uint64(wid), uint64(did)), drow.Encode())
+			for cid := 1; cid <= cfg.CustomersPerDistrict; cid++ {
+				lastNum := cid - 1
+				if cid > 1000 {
+					lastNum = int(nuRand(r, 255, w.cLast, 0, 999))
+				}
+				credit := uint32(0)
+				if r.Bool(0.1) {
+					credit = 1
+				}
+				crow := CustomerRow{
+					WID: uint64(wid), DID: uint64(did), CID: uint64(cid),
+					Last: LastName(lastNum % 1000), Credit: credit,
+					Discount: uint32(r.Intn(5001)), Balance: -1000, Data: "initial",
+				}
+				load(TCustomer, CustomerKey(uint64(wid), uint64(did), uint64(cid)), crow.Encode())
+				load(TCustNameIdx, custNameKey(uint64(wid), uint64(did), crow.Last, uint64(cid)), storage.Uint64Key(uint64(cid)))
+			}
+			// Initial order backlog: the last 1/3 are undelivered.
+			for oid := 1; oid <= nOrders; oid++ {
+				cid := uint64(r.Range(1, cfg.CustomersPerDistrict))
+				olCnt := uint64(r.Range(5, 15))
+				carrier := uint32(r.Range(1, 10))
+				undelivered := oid > nOrders*2/3
+				if undelivered {
+					carrier = 0
+				}
+				orow := OrderRow{WID: uint64(wid), DID: uint64(did), OID: uint64(oid), CID: cid, Carrier: carrier, OLCnt: uint32(olCnt), AllLocal: 1}
+				load(TOrder, OrderKey(uint64(wid), uint64(did), uint64(oid)), orow.Encode())
+				load(TOrderCustIdx, storage.CompositeKey(uint64(wid), uint64(did), cid, uint64(oid)), storage.Uint64Key(uint64(oid)))
+				if undelivered {
+					load(TNewOrder, OrderKey(uint64(wid), uint64(did), uint64(oid)), []byte{1})
+				}
+				for ol := uint64(1); ol <= olCnt; ol++ {
+					deliveryD := uint64(1)
+					if undelivered {
+						deliveryD = 0
+					}
+					olrow := OrderLineRow{
+						WID: uint64(wid), DID: uint64(did), OID: uint64(oid), OL: ol,
+						IID: uint64(r.Range(1, cfg.Items)), SupplyW: uint64(wid),
+						Qty: 5, Amount: uint64(r.Range(1, 999900)), DeliveryD: deliveryD, DistInfo: "dist-info-pad",
+					}
+					load(TOrderLine, OrderLineKey(uint64(wid), uint64(did), uint64(oid), ol), olrow.Encode())
+				}
+			}
+		}
+	}
+}
+
+// Transaction mix (spec minimums, standard configuration).
+const (
+	pNewOrder    = 45
+	pPayment     = 43
+	pOrderStatus = 4
+	pDelivery    = 4
+	// StockLevel takes the remaining 4%.
+)
+
+// NextTxn implements core.Workload.
+func (w *Workload) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
+	p := r.Intn(100)
+	switch {
+	case p < pNewOrder:
+		return "NewOrder", w.NewOrder(r)
+	case p < pNewOrder+pPayment:
+		return "Payment", w.Payment(r)
+	case p < pNewOrder+pPayment+pOrderStatus:
+		return "OrderStatus", w.OrderStatus(r)
+	case p < pNewOrder+pPayment+pOrderStatus+pDelivery:
+		return "Delivery", w.Delivery(r)
+	default:
+		return "StockLevel", w.StockLevel(r)
+	}
+}
+
+// StockLevelOnly returns a workload variant emitting only StockLevel — the
+// Figure 3 right-bar configuration.
+func (w *Workload) StockLevelOnly() core.Workload {
+	return &singleTxn{w: w, name: "tpcc-stocklevel", txName: "StockLevel", gen: w.StockLevel}
+}
+
+// NewOrderOnly returns a NewOrder-only variant for contention studies.
+func (w *Workload) NewOrderOnly() core.Workload {
+	return &singleTxn{w: w, name: "tpcc-neworder", txName: "NewOrder", gen: w.NewOrder}
+}
+
+type singleTxn struct {
+	w      *Workload
+	name   string
+	txName string
+	gen    func(r *sim.Rand) core.TxnLogic
+}
+
+func (s *singleTxn) Name() string                               { return s.name }
+func (s *singleTxn) Tables() []core.TableDef                    { return s.w.Tables() }
+func (s *singleTxn) Scheme(partitions int) core.PartitionScheme { return s.w.Scheme(partitions) }
+func (s *singleTxn) Populate(load func(t uint16, k, v []byte), r *sim.Rand) {
+	s.w.Populate(load, r)
+}
+func (s *singleTxn) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
+	return s.txName, s.gen(r)
+}
