@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"bionicdb/internal/bench"
 	"bionicdb/internal/btree"
 	"bionicdb/internal/core"
 	"bionicdb/internal/darksilicon"
@@ -20,6 +21,7 @@ import (
 	"bionicdb/internal/storage"
 	"bionicdb/internal/workload/tatp"
 	"bionicdb/internal/workload/tpcc"
+	"bionicdb/internal/workload/ycsb"
 )
 
 // benchRunConfig keeps simulation windows small enough for bench iterations.
@@ -230,6 +232,39 @@ func BenchmarkC2Ablation(b *testing.B) {
 			reportRun(b, res)
 		})
 	}
+}
+
+// BenchmarkYCSBSweep fans the YCSB Workload A grid (three engines) out
+// through the internal/bench pool and reports the bionic headline numbers —
+// the workload-diversity experiment behind the sweep subsystem.
+func BenchmarkYCSBSweep(b *testing.B) {
+	grid := bench.Grid{
+		Engines: []bench.EngineSpec{
+			bench.Conventional(),
+			bench.DORA(8),
+			bench.Bionic(8, core.AllOffloads(), 8),
+		},
+		Workloads: []bench.WorkloadSpec{{Name: "ycsb", Make: func() core.Workload {
+			cfg := ycsb.WorkloadA()
+			cfg.Records = 20000
+			return ycsb.New(cfg)
+		}}},
+		Terminals: []int{64},
+		Seeds:     []uint64{42},
+		Warmup:    5 * sim.Millisecond,
+		Measure:   15 * sim.Millisecond,
+	}
+	var results []bench.Result
+	for i := 0; i < b.N; i++ {
+		results = grid.Run(bench.Options{})
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	reportRun(b, results[len(results)-1].Res) // bionic row
+	b.ReportMetric(results[len(results)-1].Res.TPS/results[0].Res.TPS, "tps-vs-conv")
 }
 
 // BenchmarkC4LatencyShape contrasts DORA and bionic latency distributions:

@@ -4,8 +4,9 @@
 // data-oriented execution (DORA), and the paper's "bionic" hybrid that
 // offloads B+Tree probes, log insertion, queue management and the overlay
 // database to modelled FPGA hardware — running on a deterministic
-// discrete-event model of the paper's CPU+FPGA platform, with TATP and
-// TPC-C workloads and joules-per-transaction as a first-class metric.
+// discrete-event model of the paper's CPU+FPGA platform, with TATP, TPC-C
+// and YCSB workloads, joules-per-transaction as a first-class metric, and a
+// parallel experiment-sweep subsystem for evaluating design grids.
 //
 // The package re-exports the supported API surface; see the examples
 // directory for usage and DESIGN.md for the system inventory.
@@ -14,6 +15,7 @@ package bionicdb
 import (
 	"fmt"
 
+	"bionicdb/internal/bench"
 	"bionicdb/internal/core"
 	"bionicdb/internal/darksilicon"
 	"bionicdb/internal/platform"
@@ -21,6 +23,7 @@ import (
 	"bionicdb/internal/stats"
 	"bionicdb/internal/workload/tatp"
 	"bionicdb/internal/workload/tpcc"
+	"bionicdb/internal/workload/ycsb"
 )
 
 // Simulated time.
@@ -162,6 +165,71 @@ func NewTPCC(cfg TPCCConfig) *tpcc.Workload {
 		cfg = tpcc.DefaultConfig()
 	}
 	return tpcc.New(cfg)
+}
+
+// YCSBConfig scales and shapes the YCSB workload.
+type YCSBConfig = ycsb.Config
+
+// NewYCSB creates the YCSB workload (zero fields use the Workload A
+// defaults: 100k records, 50/50 read/update, zipfian 0.99). Preset mixes
+// are available as YCSBWorkloadA..F configs.
+func NewYCSB(cfg YCSBConfig) *ycsb.Workload { return ycsb.New(cfg) }
+
+// YCSB preset mixes (Cooper et al., SoCC 2010).
+var (
+	YCSBWorkloadA = ycsb.WorkloadA // 50% read / 50% update
+	YCSBWorkloadB = ycsb.WorkloadB // 95% read / 5% update
+	YCSBWorkloadC = ycsb.WorkloadC // 100% read
+	YCSBWorkloadE = ycsb.WorkloadE // 95% scan / 5% update
+	YCSBWorkloadF = ycsb.WorkloadF // 50% read / 50% read-modify-write
+)
+
+// Experiment sweeps (the internal/bench subsystem).
+type (
+	// SweepGrid declares a sweep: the cross product of engines, workloads,
+	// terminal counts and seeds.
+	SweepGrid = bench.Grid
+	// SweepPoint is one fully-specified measurement in a grid.
+	SweepPoint = bench.Point
+	// SweepResult pairs a point with its measurement and wall-clock cost.
+	SweepResult = bench.Result
+	// SweepOptions shapes sweep execution (worker-pool size, progress).
+	SweepOptions = bench.Options
+	// EngineSpec names an engine constructor in a sweep grid.
+	EngineSpec = bench.EngineSpec
+	// WorkloadSpec names a workload constructor in a sweep grid.
+	WorkloadSpec = bench.WorkloadSpec
+)
+
+// Sweep fans the points out across a worker pool (SweepOptions.Parallel;
+// 0 = GOMAXPROCS) and returns results in grid order. Every point runs in
+// its own simulation environment, so parallel results are bit-identical to
+// a serial sweep of the same grid.
+func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
+	return bench.Run(points, opt)
+}
+
+// ConventionalSpec is the sweep-grid spec for the 2PL baseline engine.
+func ConventionalSpec() EngineSpec { return bench.Conventional() }
+
+// DORASpec is the sweep-grid spec for the software data-oriented engine.
+func DORASpec(partitions int) EngineSpec { return bench.DORA(partitions) }
+
+// BionicSpec is the sweep-grid spec for the bionic engine with the given
+// offload subset and in-flight window.
+func BionicSpec(partitions int, off Offloads, window int) EngineSpec {
+	return bench.Bionic(partitions, off, window)
+}
+
+// SweepTable renders sweep results as an aligned table.
+func SweepTable(results []SweepResult) *stats.Table { return bench.Table(results) }
+
+// SweepJSON marshals sweep results as the bionicbench JSON document.
+func SweepJSON(results []SweepResult) ([]byte, error) { return bench.JSON(results) }
+
+// WriteSweepJSON writes sweep results as JSON to path.
+func WriteSweepJSON(path string, results []SweepResult) error {
+	return bench.WriteJSONFile(path, results)
 }
 
 // Dark silicon analytics (the paper's §2 / Figure 1).

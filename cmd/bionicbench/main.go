@@ -8,9 +8,14 @@
 //	bionicbench -fig 4          Figure 4: conventional vs DORA vs bionic
 //	bionicbench -ablation       C2: offload lattice on the TATP mix
 //	bionicbench -saturation     C1: probe-engine outstanding-request sweep
+//	bionicbench -sweep          engine x workload (TATP, TPC-C, YCSB) grid
 //
-// -quick shrinks scales for a fast smoke run; -csv emits CSV instead of
-// aligned tables.
+// Every measurement executes through the internal/bench sweep subsystem:
+// runs fan out across -parallel workers (default GOMAXPROCS), each in its
+// own simulation environment, so parallel results are bit-identical to
+// serial ones. -quick shrinks scales for a fast smoke run; -csv emits CSV
+// instead of aligned tables; -json FILE additionally writes every
+// core.Run-backed measurement of the invocation as structured JSON.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"bionicdb/internal/bench"
 	"bionicdb/internal/core"
 	"bionicdb/internal/darksilicon"
 	"bionicdb/internal/hw/treeprobe"
@@ -27,6 +33,7 @@ import (
 	"bionicdb/internal/storage"
 	"bionicdb/internal/workload/tatp"
 	"bionicdb/internal/workload/tpcc"
+	"bionicdb/internal/workload/ycsb"
 
 	"bionicdb/internal/btree"
 )
@@ -36,22 +43,31 @@ var (
 	ablation    = flag.Bool("ablation", false, "run the C2 offload ablation")
 	saturation  = flag.Bool("saturation", false, "run the C1 probe saturation sweep")
 	latencies   = flag.Bool("latencies", false, "print the Section 3 latency taxonomy")
+	sweepFlag   = flag.Bool("sweep", false, "run the engine x workload sweep grid")
 	all         = flag.Bool("all", false, "run every experiment")
 	quick       = flag.Bool("quick", false, "shrink scales for a fast run")
 	csv         = flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonOut     = flag.String("json", "", "write sweep results as JSON to this file")
+	parallel    = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	seed        = flag.Uint64("seed", 42, "simulation seed")
+	seeds       = flag.Int("seeds", 1, "seeds per sweep grid point (seed, seed+1, ...)")
 	terminals   = flag.Int("terminals", 64, "closed-loop clients")
 	measureMs   = flag.Int("measure", 50, "measurement window, simulated ms")
 	warmupMs    = flag.Int("warmup", 20, "warmup, simulated ms")
 	subscribers = flag.Int("subscribers", 100000, "TATP scale")
 	warehouses  = flag.Int("warehouses", 4, "TPC-C scale")
+	records     = flag.Int("records", 100000, "YCSB scale")
 )
+
+// collected accumulates every bench result of the invocation for -json.
+var collected []bench.Result
 
 func main() {
 	flag.Parse()
 	if *quick {
 		*subscribers = 10000
 		*warehouses = 2
+		*records = 10000
 		*measureMs = 15
 		*warmupMs = 5
 	}
@@ -84,9 +100,24 @@ func main() {
 		runLatencies()
 		ran = true
 	}
+	if *all || *sweepFlag {
+		runSweep()
+		ran = true
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if len(collected) == 0 {
+			fmt.Fprintf(os.Stderr, "-json %s: no results to write (the selected experiments run no measurements; use -fig 3, -fig 4, -ablation or -sweep)\n", *jsonOut)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSONFile(*jsonOut, collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(collected), *jsonOut)
 	}
 }
 
@@ -100,12 +131,60 @@ func emit(title string, t *stats.Table) {
 	fmt.Println()
 }
 
-func runCfg() core.RunConfig {
-	return core.RunConfig{
-		Terminals: *terminals,
-		Warmup:    sim.Duration(*warmupMs) * sim.Millisecond,
-		Measure:   sim.Duration(*measureMs) * sim.Millisecond,
-		Seed:      *seed,
+// runPoints executes points through the shared pool, records them for
+// -json, and fails fast on any run error.
+func runPoints(points []bench.Point) []bench.Result {
+	results := bench.Run(points, bench.Options{Parallel: *parallel})
+	collected = append(collected, results...)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
+		}
+	}
+	return results
+}
+
+func windows() (warmup, measure sim.Duration) {
+	return sim.Duration(*warmupMs) * sim.Millisecond, sim.Duration(*measureMs) * sim.Millisecond
+}
+
+// Workload constructors shared by the figure generators and the sweep.
+
+func tatpSpec() bench.WorkloadSpec {
+	n := *subscribers
+	return bench.WorkloadSpec{Name: "tatp", Make: func() core.Workload {
+		return tatp.New(tatp.Config{Subscribers: n})
+	}}
+}
+
+func tpccConfig() tpcc.Config {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = *warehouses
+	if *quick {
+		cfg.CustomersPerDistrict = 600
+		cfg.Items = 20000
+	}
+	return cfg
+}
+
+func tpccSpec() bench.WorkloadSpec {
+	cfg := tpccConfig()
+	return bench.WorkloadSpec{Name: "tpcc", Make: func() core.Workload { return tpcc.New(cfg) }}
+}
+
+func ycsbSpec() bench.WorkloadSpec {
+	cfg := ycsb.DefaultConfig()
+	cfg.Records = *records
+	return bench.WorkloadSpec{Name: "ycsb", Make: func() core.Workload { return ycsb.New(cfg) }}
+}
+
+// engineSet is the Figure 4 engine family.
+func engineSet() []bench.EngineSpec {
+	return []bench.EngineSpec{
+		bench.Conventional(),
+		bench.DORA(8),
+		bench.Bionic(8, core.AllOffloads(), 8),
 	}
 }
 
@@ -149,38 +228,33 @@ func fig2() {
 
 // fig3 prints the DORA software breakdown for the two Figure 3 workloads.
 func fig3() {
-	cfg := runCfg()
-	type wlCase struct {
-		title string
-		wl    core.Workload
+	warmup, measure := windows()
+	n := *subscribers
+	tpccCfg := tpccConfig()
+	g := bench.Grid{
+		Group:   "fig3",
+		Engines: []bench.EngineSpec{bench.DORA(8)},
+		Workloads: []bench.WorkloadSpec{
+			{Name: "tatp-updsubdata", Make: func() core.Workload {
+				return tatp.New(tatp.Config{Subscribers: n}).UpdateSubDataOnly()
+			}},
+			{Name: "tpcc-stocklevel", Make: func() core.Workload {
+				return tpcc.New(tpccCfg).StockLevelOnly()
+			}},
+		},
+		Terminals: []int{*terminals},
+		Seeds:     []uint64{*seed},
+		Warmup:    warmup, Measure: measure,
 	}
-	tatpWL := tatp.New(tatp.Config{Subscribers: *subscribers})
-	tpccCfg := tpcc.DefaultConfig()
-	tpccCfg.Warehouses = *warehouses
-	if *quick {
-		tpccCfg.CustomersPerDistrict = 600
-		tpccCfg.Items = 20000
-	}
-	tpccWL := tpcc.New(tpccCfg)
-	cases := []wlCase{
-		{"TATP UpdSubData", tatpWL.UpdateSubDataOnly()},
-		{"TPCC StockLevel", tpccWL.StockLevelOnly()},
-	}
+	results := runPoints(g.Points())
 	t := stats.NewTable("component", ">TATP UpdSubData", ">TPCC StockLevel")
-	shares := make([][]float64, len(cases))
-	for i, c := range cases {
-		res, err := core.Run(cfg, c.wl, func(env *sim.Env) core.Engine {
-			return core.NewDORA(env, platform.HC2(), c.wl.Tables(), c.wl.Scheme(8))
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		total := res.BD.Total()
+	shares := make([][]float64, len(results))
+	for i, r := range results {
+		total := r.Res.BD.Total()
 		shares[i] = make([]float64, stats.NumComponents)
 		for _, comp := range stats.Components() {
 			if total > 0 {
-				shares[i][comp] = float64(res.BD.Get(comp)) / float64(total) * 100
+				shares[i][comp] = float64(r.Res.BD.Get(comp)) / float64(total) * 100
 			}
 		}
 	}
@@ -194,75 +268,56 @@ func fig3() {
 
 // fig4 compares the three engines on both workload mixes.
 func fig4() {
-	cfg := runCfg()
-	tatpWL := tatp.New(tatp.Config{Subscribers: *subscribers})
-	tpccCfg := tpcc.DefaultConfig()
-	tpccCfg.Warehouses = *warehouses
-	if *quick {
-		tpccCfg.CustomersPerDistrict = 600
-		tpccCfg.Items = 20000
+	warmup, measure := windows()
+	// TPC-C concurrency scales with warehouses (the spec mandates 10
+	// terminals per warehouse; 2x that keeps pressure without district
+	// convoys), so each workload expands as its own grid.
+	var points []bench.Point
+	for _, wg := range []struct {
+		wl        bench.WorkloadSpec
+		terminals int
+	}{
+		{tatpSpec(), *terminals},
+		{tpccSpec(), *warehouses * 20},
+	} {
+		g := bench.Grid{
+			Group:     "fig4",
+			Engines:   engineSet(),
+			Workloads: []bench.WorkloadSpec{wg.wl},
+			Terminals: []int{wg.terminals},
+			Seeds:     []uint64{*seed},
+			Warmup:    warmup, Measure: measure,
+		}
+		points = append(points, g.Points()...)
 	}
-	tpccWL := tpcc.New(tpccCfg)
+	results := runPoints(points)
 
 	t := stats.NewTable("workload", "engine", ">tps", ">uJ/txn", ">rel J", ">p50", ">p95", ">CPU J", ">FPGA J")
-	for _, wl := range []core.Workload{tatpWL, tpccWL} {
-		wcfg := cfg
-		if wl.Name() == "tpcc" {
-			// TPC-C concurrency scales with warehouses (the spec mandates
-			// 10 terminals per warehouse; 2x that keeps pressure without
-			// district convoys).
-			wcfg.Terminals = *warehouses * 20
+	var baseJ float64
+	for _, r := range results {
+		res := r.Res
+		if res.Engine == "conventional" {
+			baseJ = res.JoulesPerTxn
 		}
-		var baseJ float64
-		for _, mkc := range engineSet(wl) {
-			res, err := core.Run(wcfg, wl, mkc.mk)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if mkc.name == "conventional" {
-				baseJ = res.JoulesPerTxn
-			}
-			rel := 1.0
-			if baseJ > 0 {
-				rel = res.JoulesPerTxn / baseJ
-			}
-			t.Row(wl.Name(), res.Engine,
-				fmt.Sprintf("%.0f", res.TPS),
-				fmt.Sprintf("%.1f", res.JoulesPerTxn*1e6),
-				fmt.Sprintf("%.2f", rel),
-				res.Latency.Percentile(50).String(),
-				res.Latency.Percentile(95).String(),
-				fmt.Sprintf("%.1f", (res.Energy.CPUDynamic+res.Energy.CPUIdle)*1e3),
-				fmt.Sprintf("%.1f", res.Energy.FPGA*1e3))
+		rel := 1.0
+		if baseJ > 0 {
+			rel = res.JoulesPerTxn / baseJ
 		}
+		t.Row(res.Workload, res.Engine,
+			fmt.Sprintf("%.0f", res.TPS),
+			fmt.Sprintf("%.1f", res.JoulesPerTxn*1e6),
+			fmt.Sprintf("%.2f", rel),
+			res.Latency.Percentile(50).String(),
+			res.Latency.Percentile(95).String(),
+			fmt.Sprintf("%.1f", (res.Energy.CPUDynamic+res.Energy.CPUIdle)*1e3),
+			fmt.Sprintf("%.1f", res.Energy.FPGA*1e3))
 	}
 	emit("Figure 4: conventional vs DORA vs bionic (energy in mJ over the window)", t)
 }
 
-type namedFactory struct {
-	name string
-	mk   func(env *sim.Env) core.Engine
-}
-
-func engineSet(wl core.Workload) []namedFactory {
-	return []namedFactory{
-		{"conventional", func(env *sim.Env) core.Engine {
-			return core.NewConventional(env, platform.HC2(), wl.Tables())
-		}},
-		{"dora", func(env *sim.Env) core.Engine {
-			return core.NewDORA(env, platform.HC2(), wl.Tables(), wl.Scheme(8))
-		}},
-		{"bionic", func(env *sim.Env) core.Engine {
-			return core.NewBionic(env, platform.HC2(), wl.Tables(), wl.Scheme(8), core.AllOffloads(), 8)
-		}},
-	}
-}
-
 // runAblation sweeps the offload lattice on the TATP mix.
 func runAblation() {
-	cfg := runCfg()
-	wl := tatp.New(tatp.Config{Subscribers: *subscribers})
+	warmup, measure := windows()
 	lattice := []core.Offloads{
 		{},
 		{Queue: true},
@@ -272,31 +327,70 @@ func runAblation() {
 		{Tree: true, Overlay: true, Log: true},
 		core.AllOffloads(),
 	}
+	engines := make([]bench.EngineSpec, len(lattice))
+	for i, off := range lattice {
+		spec := bench.Bionic(8, off, 8)
+		spec.Name = off.String() // table rows name the subset, not the engine
+		engines[i] = spec
+	}
+	g := bench.Grid{
+		Group:     "ablation",
+		Engines:   engines,
+		Workloads: []bench.WorkloadSpec{tatpSpec()},
+		Terminals: []int{*terminals},
+		Seeds:     []uint64{*seed},
+		Warmup:    warmup, Measure: measure,
+	}
+	results := runPoints(g.Points())
 	t := stats.NewTable("offloads", ">tps", ">uJ/txn", ">p50", ">p95")
-	for _, off := range lattice {
-		off := off
-		res, err := core.Run(cfg, wl, func(env *sim.Env) core.Engine {
-			return core.NewBionic(env, platform.HC2(), wl.Tables(), wl.Scheme(8), off, 8)
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		t.Row(off.String(),
-			fmt.Sprintf("%.0f", res.TPS),
-			fmt.Sprintf("%.1f", res.JoulesPerTxn*1e6),
-			res.Latency.Percentile(50).String(),
-			res.Latency.Percentile(95).String())
+	for _, r := range results {
+		t.Row(r.Point.Engine.Name,
+			fmt.Sprintf("%.0f", r.Res.TPS),
+			fmt.Sprintf("%.1f", r.Res.JoulesPerTxn*1e6),
+			r.Res.Latency.Percentile(50).String(),
+			r.Res.Latency.Percentile(95).String())
 	}
 	emit("C2 ablation: TATP mix, DORA base plus offload subsets", t)
 }
 
-// runSaturation sweeps the probe engine's outstanding-request window.
+// runSweep runs the full engine x workload grid — TATP, TPC-C and YCSB on
+// all three engines — the broad-and-cheap experiment surface the figure
+// generators sample corners of.
+func runSweep() {
+	warmup, measure := windows()
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + uint64(i)
+	}
+	g := bench.Grid{
+		Group:     "sweep",
+		Engines:   engineSet(),
+		Workloads: []bench.WorkloadSpec{tatpSpec(), tpccSpec(), ycsbSpec()},
+		Terminals: []int{*terminals},
+		Seeds:     seedList,
+		Warmup:    warmup, Measure: measure,
+	}
+	results := runPoints(g.Points())
+	emit(fmt.Sprintf("Sweep: %d grid points (engines x workloads x %d seed(s))",
+		len(results), len(seedList)), bench.Table(results))
+}
+
+// runSaturation sweeps the probe engine's outstanding-request window. The
+// points are independent microbenchmarks, so they fan out through the same
+// pool as the grid sweeps.
 func runSaturation() {
+	windows := []int{1, 2, 4, 8, 12, 16, 24, 32}
+	tputs := make([]float64, len(windows))
+	utils := make([]float64, len(windows))
+	bench.ForEach(len(windows), *parallel, func(i int) {
+		tputs[i], utils[i] = probeThroughput(windows[i])
+	})
 	t := stats.NewTable(">outstanding", ">Mprobes/s", ">pipe util")
-	for _, window := range []int{1, 2, 4, 8, 12, 16, 24, 32} {
-		tput, util := probeThroughput(window)
-		t.Row(fmt.Sprintf("%d", window), fmt.Sprintf("%.2f", tput/1e6), fmt.Sprintf("%.0f%%", util*100))
+	for i, window := range windows {
+		t.Row(fmt.Sprintf("%d", window), fmt.Sprintf("%.2f", tputs[i]/1e6), fmt.Sprintf("%.0f%%", utils[i]*100))
 	}
 	emit("C1: tree-probe engine saturation (Section 5.3: ~a dozen outstanding requests)", t)
 }

@@ -1,0 +1,3 @@
+module bionicdb
+
+go 1.22

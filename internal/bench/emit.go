@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bionicdb/internal/stats"
+)
+
+// Table renders sweep results as the standard figure table: one row per
+// point in grid order.
+func Table(results []Result) *stats.Table {
+	t := stats.NewTable("workload", "engine", ">terminals", ">seed",
+		">tps", ">uJ/txn", ">p50", ">p95", ">commits", ">aborts")
+	for _, r := range results {
+		p := r.Point
+		if r.Err != nil {
+			t.Row(p.Workload.Name, p.Engine.Name,
+				fmt.Sprintf("%d", p.Terminals), fmt.Sprintf("%d", p.Seed),
+				"error: "+r.Err.Error(), "", "", "", "", "")
+			continue
+		}
+		t.Row(p.Workload.Name, p.Engine.Name,
+			fmt.Sprintf("%d", p.Terminals), fmt.Sprintf("%d", p.Seed),
+			fmt.Sprintf("%.0f", r.Res.TPS),
+			fmt.Sprintf("%.1f", r.Res.JoulesPerTxn*1e6),
+			r.Res.Latency.Percentile(50).String(),
+			r.Res.Latency.Percentile(95).String(),
+			fmt.Sprintf("%d", r.Res.Commits),
+			fmt.Sprintf("%d", r.Res.Aborts))
+	}
+	return t
+}
+
+// jsonResult is the flat per-point record the JSON document carries.
+type jsonResult struct {
+	Name      string `json:"name"`
+	Group     string `json:"experiment,omitempty"`
+	Workload  string `json:"workload"`
+	Engine    string `json:"engine"`
+	Terminals int    `json:"terminals"`
+	Seed      uint64 `json:"seed"`
+
+	WarmupMs  float64 `json:"warmup_ms"`
+	MeasureMs float64 `json:"measure_ms"`
+
+	TPS          float64 `json:"tps"`
+	Commits      int64   `json:"commits"`
+	Aborts       int64   `json:"aborts"`
+	JoulesPerTxn float64 `json:"joules_per_txn"`
+	P50us        float64 `json:"p50_us"`
+	P95us        float64 `json:"p95_us"`
+	P99us        float64 `json:"p99_us"`
+	CPUJoules    float64 `json:"cpu_joules"`
+	FPGAJoules   float64 `json:"fpga_joules"`
+
+	TxnCounts map[string]int64 `json:"txn_counts,omitempty"`
+	WallMs    float64          `json:"wall_ms"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// jsonDoc is the emitted document shape.
+type jsonDoc struct {
+	Suite   string       `json:"suite"`
+	Results []jsonResult `json:"results"`
+}
+
+// JSON marshals sweep results as an indented BENCH_*.json-style document:
+// {"suite": "bionicbench", "results": [...]}.
+func JSON(results []Result) ([]byte, error) {
+	doc := jsonDoc{Suite: "bionicbench", Results: make([]jsonResult, 0, len(results))}
+	for _, r := range results {
+		p := r.Point
+		name := fmt.Sprintf("%s/%s/t%d/s%d", p.Workload.Name, p.Engine.Name, p.Terminals, p.Seed)
+		if p.Group != "" {
+			name = p.Group + "/" + name
+		}
+		jr := jsonResult{
+			Name:      name,
+			Group:     p.Group,
+			Workload:  p.Workload.Name,
+			Engine:    p.Engine.Name,
+			Terminals: p.Terminals,
+			Seed:      p.Seed,
+			WarmupMs:  p.Warmup.Seconds() * 1e3,
+			MeasureMs: p.Measure.Seconds() * 1e3,
+			WallMs:    float64(r.Wall.Nanoseconds()) / 1e6,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		} else {
+			res := r.Res
+			jr.TPS = res.TPS
+			jr.Commits = res.Commits
+			jr.Aborts = res.Aborts
+			jr.JoulesPerTxn = res.JoulesPerTxn
+			jr.P50us = res.Latency.Percentile(50).Microseconds()
+			jr.P95us = res.Latency.Percentile(95).Microseconds()
+			jr.P99us = res.Latency.Percentile(99).Microseconds()
+			jr.CPUJoules = res.Energy.CPUDynamic + res.Energy.CPUIdle
+			jr.FPGAJoules = res.Energy.FPGA
+			jr.TxnCounts = res.TxnCounts
+		}
+		doc.Results = append(doc.Results, jr)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// WriteJSONFile writes the JSON document to path.
+func WriteJSONFile(path string, results []Result) error {
+	b, err := JSON(results)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

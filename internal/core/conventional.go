@@ -104,8 +104,8 @@ func (e *Conventional) Tables() map[uint16]*btree.Tree { return e.trees }
 // would be after its working set is faulted in. The harness calls it after
 // population so measurements start from a warm cache.
 func (e *Conventional) Warm() {
-	for _, tree := range e.trees {
-		tree.Pages(func(id storage.PageID, leaf bool) { e.pool.Prewarm(id) })
+	for _, id := range sortedKeys(e.trees) {
+		e.trees[id].Pages(func(id storage.PageID, leaf bool) { e.pool.Prewarm(id) })
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"bionicdb/internal/btree"
 	"bionicdb/internal/bufferpool"
 	"bionicdb/internal/dora"
@@ -180,9 +182,24 @@ func (e *DORAEngine) Warm() {
 	if e.pool == nil {
 		return
 	}
-	for _, tree := range e.trees {
-		tree.Pages(func(id storage.PageID, leaf bool) { e.pool.Prewarm(id) })
+	for _, id := range sortedKeys(e.trees) {
+		e.trees[id].Pages(func(id storage.PageID, leaf bool) { e.pool.Prewarm(id) })
 	}
+}
+
+// sortedKeys returns a map's keys in ascending order. Simulation-visible
+// iteration must never follow Go's randomized map order: the event
+// schedule it produces has to be a pure function of the seed, or runs stop
+// being reproducible and parallel sweeps stop matching serial ones.
+func sortedKeys[K interface {
+	~int | ~uint16 | ~uint64
+}, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Load implements Engine.
@@ -263,8 +280,8 @@ func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) 
 			groups[pidx] = append(groups[pidx], u)
 		}
 		rvp := dora.NewRVP(e.pl.Env, len(groups))
-		for pidx, recs := range groups {
-			recs := recs
+		for _, pidx := range sortedKeys(groups) {
+			recs := groups[pidx]
 			e.parts[pidx].Enqueue(task, &dora.Action{TxnID: dtx.tx.ID, Priority: true, RVP: rvp, Run: func(wt *platform.Task, pt *dora.Partition) bool {
 				for _, u := range recs {
 					e.applyUndoRaw(wt, u)
@@ -284,7 +301,7 @@ func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) 
 // partition.
 func (e *DORAEngine) releaseLocks(task *platform.Task, dtx *doraTx) {
 	txnID := dtx.tx.ID
-	for pidx := range dtx.involved {
+	for _, pidx := range sortedKeys(dtx.involved) {
 		rvp := dora.NewRVP(e.pl.Env, 1)
 		e.parts[pidx].Enqueue(task, &dora.Action{TxnID: txnID, Priority: true, RVP: rvp, Run: func(wt *platform.Task, pt *dora.Partition) bool {
 			pt.ReleaseLocks(wt, txnID)

@@ -12,6 +12,7 @@ package dora
 
 import (
 	"fmt"
+	"sort"
 
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
@@ -326,10 +327,17 @@ func (pt *Partition) finish(task *platform.Task, a *Action, vote bool) {
 // re-dispatches deferred actions by re-enqueueing them. It is called from a
 // release action's body, on the partition's own worker.
 func (pt *Partition) ReleaseLocks(task *platform.Task, txnID uint64) {
+	// Release in sorted key order: the order decides when deferred actions
+	// re-enter the queue, so it must not follow randomized map iteration.
+	var owned []string
 	for key, l := range pt.locks {
-		if l.owner != txnID {
-			continue
+		if l.owner == txnID {
+			owned = append(owned, key)
 		}
+	}
+	sort.Strings(owned)
+	for _, key := range owned {
+		l := pt.locks[key]
 		task.Exec(stats.CompDora, pt.Costs.LocalLockInstr)
 		if len(l.deferred) == 0 {
 			delete(pt.locks, key)

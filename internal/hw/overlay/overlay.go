@@ -11,6 +11,7 @@ package overlay
 
 import (
 	"fmt"
+	"sort"
 
 	"bionicdb/internal/btree"
 	"bionicdb/internal/hw/treeprobe"
@@ -301,7 +302,9 @@ func (s *Store) maybeEvict(t *platform.Task) {
 		var coldest storage.PageID
 		var coldestAt sim.Time = 1<<62 - 1
 		for id, at := range s.leafTouch {
-			if !s.evicted[id] && at < coldestAt {
+			// Tie-break on the page id so the victim never depends on map
+			// iteration order.
+			if !s.evicted[id] && (at < coldestAt || (at == coldestAt && id < coldest)) {
 				coldest, coldestAt = id, at
 			}
 		}
@@ -331,17 +334,20 @@ func (s *Store) mergeLoop(p *sim.Proc) {
 func (s *Store) mergeOnce(p *sim.Proc) {
 	budget := s.cfg.MergeBatchRows
 	totalBytes := 0
-	for _, tbl := range s.tables {
+	// Tables and dirty keys merge in sorted order: which rows a pass picks
+	// decides its I/O timing, so the choice must be a pure function of
+	// simulation state, never Go's randomized map order.
+	ids := make([]int, 0, len(s.tables))
+	for id := range s.tables {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tbl := s.tables[uint16(id)]
 		if budget <= 0 {
 			break
 		}
-		var keys []string
-		for k := range tbl.dirty {
-			keys = append(keys, k)
-			if len(keys) >= budget {
-				break
-			}
-		}
+		keys := smallestDirty(tbl.dirty, budget)
 		if len(keys) == 0 {
 			continue
 		}
@@ -363,6 +369,53 @@ func (s *Store) mergeOnce(p *sim.Proc) {
 	// one run to the database files (a single seek, not one per table).
 	s.pl.SGDRAM.Transfer(p, totalBytes)
 	s.pl.Disk.Transfer(p, totalBytes)
+}
+
+// smallestDirty returns the budget lexicographically-smallest dirty keys
+// in sorted order. A bounded max-heap keeps the scan O(D log budget)
+// instead of sorting the whole dirty set, which can be far larger than
+// one merge pass's budget.
+func smallestDirty(dirty map[string]struct{}, budget int) []string {
+	if budget <= 0 {
+		return nil
+	}
+	// h is a max-heap: h[0] is the largest of the budget smallest so far.
+	h := make([]string, 0, budget)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(h) && h[l] > h[big] {
+				big = l
+			}
+			if r < len(h) && h[r] > h[big] {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	for k := range dirty {
+		if len(h) < budget {
+			h = append(h, k)
+			for i := len(h) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if h[parent] >= h[i] {
+					break
+				}
+				h[i], h[parent] = h[parent], h[i]
+				i = parent
+			}
+		} else if k < h[0] {
+			h[0] = k
+			siftDown(0)
+		}
+	}
+	sort.Strings(h)
+	return h
 }
 
 // Stop quiesces the merge daemon after a final drain.

@@ -3,6 +3,7 @@ package overlay
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"testing"
 
 	"bionicdb/internal/hw/treeprobe"
@@ -215,4 +216,37 @@ func TestDuplicateTablePanics(t *testing.T) {
 		_ = env
 	}()
 	s.CreateTable(1, 64)
+}
+
+// TestSmallestDirty checks the bounded selection matches a full sort's
+// prefix for budgets below, at, and above the set size.
+func TestSmallestDirty(t *testing.T) {
+	r := sim.NewRand(11)
+	dirty := make(map[string]struct{})
+	for i := 0; i < 500; i++ {
+		dirty[fmt.Sprintf("k%06d", r.Intn(1000000))] = struct{}{}
+	}
+	all := make([]string, 0, len(dirty))
+	for k := range dirty {
+		all = append(all, k)
+	}
+	sort.Strings(all)
+	for _, budget := range []int{0, 1, 7, 100, len(all), len(all) + 50} {
+		got := smallestDirty(dirty, budget)
+		want := all
+		if budget < len(all) {
+			want = all[:budget]
+		}
+		if budget <= 0 {
+			want = nil
+		}
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: got %d keys, want %d", budget, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("budget %d: key %d is %q, want %q", budget, i, got[i], want[i])
+			}
+		}
+	}
 }

@@ -1,0 +1,242 @@
+// Package ycsb implements the YCSB core workload (Cooper et al., SoCC
+// 2010) over the engine family: a single usertable of dense uint64 keys
+// and a configurable read/update/scan/read-modify-write operation mix with
+// scrambled-zipfian key choice. Where TATP and TPC-C exercise the paper's
+// telecom and warehouse shapes, YCSB gives the sweep grid a key-value
+// shape whose skew and read/write balance are free parameters — the
+// "scenario diversity" axis of the ROADMAP.
+package ycsb
+
+import (
+	"fmt"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/storage"
+)
+
+// TUser is the usertable id.
+const TUser uint16 = 1
+
+// Config scales and shapes the workload. The four *Pct fields are relative
+// weights (they need not sum to 100); all-zero weights fall back to the
+// Workload A 50/50 read/update mix.
+type Config struct {
+	// Records is the usertable row count (default 100000).
+	Records int
+	// FieldSize is the value payload in bytes (default 100).
+	FieldSize int
+
+	// Operation mix weights.
+	ReadPct   int // point read
+	UpdatePct int // blind full-value overwrite
+	ScanPct   int // short range scan, read-committed like TPC-C StockLevel
+	RMWPct    int // read-modify-write on one key
+
+	// MaxScanLen bounds scan length; each scan draws uniformly from
+	// [1, MaxScanLen] (default 100).
+	MaxScanLen int
+	// Theta is the zipfian skew in (0, 1); 0 uses YCSB's default 0.99.
+	// Uniform disables skew entirely.
+	Theta   float64
+	Uniform bool
+}
+
+// DefaultConfig returns YCSB Workload A at 100k records: 50/50
+// read/update, zipfian theta 0.99.
+func DefaultConfig() Config { return WorkloadA() }
+
+// WorkloadA is the update-heavy mix: 50% read, 50% update.
+func WorkloadA() Config {
+	return Config{Records: 100000, FieldSize: 100, ReadPct: 50, UpdatePct: 50, MaxScanLen: 100, Theta: 0.99}
+}
+
+// WorkloadB is the read-mostly mix: 95% read, 5% update.
+func WorkloadB() Config {
+	c := WorkloadA()
+	c.ReadPct, c.UpdatePct = 95, 5
+	return c
+}
+
+// WorkloadC is read-only: 100% read.
+func WorkloadC() Config {
+	c := WorkloadA()
+	c.ReadPct, c.UpdatePct = 100, 0
+	return c
+}
+
+// WorkloadE is the short-range mix: 95% scan, 5% update (the standard E
+// inserts new rows; over a fixed keyspace the write half becomes updates).
+func WorkloadE() Config {
+	c := WorkloadA()
+	c.ReadPct, c.UpdatePct, c.ScanPct = 0, 5, 95
+	return c
+}
+
+// WorkloadF is the read-modify-write mix: 50% read, 50% RMW.
+func WorkloadF() Config {
+	c := WorkloadA()
+	c.ReadPct, c.UpdatePct, c.RMWPct = 50, 0, 50
+	return c
+}
+
+// Workload implements core.Workload. All per-instance state is read-only
+// after New, so one Workload may back concurrent runs.
+type Workload struct {
+	cfg  Config
+	zipf *zipfian // nil when Uniform
+}
+
+// New creates a YCSB workload, filling zero Config fields with defaults.
+func New(cfg Config) *Workload {
+	if cfg.Records < 1 {
+		cfg.Records = DefaultConfig().Records
+	}
+	if cfg.FieldSize < 1 {
+		cfg.FieldSize = DefaultConfig().FieldSize
+	}
+	if cfg.MaxScanLen < 1 {
+		cfg.MaxScanLen = DefaultConfig().MaxScanLen
+	}
+	if cfg.ReadPct+cfg.UpdatePct+cfg.ScanPct+cfg.RMWPct <= 0 {
+		cfg.ReadPct, cfg.UpdatePct = 50, 50
+	}
+	if cfg.Theta <= 0 || cfg.Theta >= 1 {
+		cfg.Theta = 0.99
+	}
+	w := &Workload{cfg: cfg}
+	if !cfg.Uniform {
+		w.zipf = newZipfian(uint64(cfg.Records), cfg.Theta)
+	}
+	return w
+}
+
+// Name implements core.Workload.
+func (w *Workload) Name() string { return "ycsb" }
+
+// Config returns the scale and mix parameters.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Records returns the usertable row count.
+func (w *Workload) Records() int { return w.cfg.Records }
+
+// Tables implements core.Workload.
+func (w *Workload) Tables() []core.TableDef {
+	return []core.TableDef{{ID: TUser, Name: "usertable", Order: 128}}
+}
+
+// Scheme implements core.Workload: keys partition by value, the record is
+// the entity.
+func (w *Workload) Scheme(partitions int) core.PartitionScheme {
+	return core.PartitionScheme{
+		Partitions: partitions,
+		Route: func(table uint16, key []byte) int {
+			return int(storage.DecodeUint64(key) % uint64(partitions))
+		},
+		Entity: func(table uint16, key []byte) string {
+			return fmt.Sprintf("u%d", storage.DecodeUint64(key))
+		},
+	}
+}
+
+// Key returns the primary key of record i.
+func Key(i uint64) []byte { return storage.Uint64Key(i) }
+
+// Populate implements core.Workload: Records rows of FieldSize random
+// bytes.
+func (w *Workload) Populate(load func(table uint16, key, val []byte), r *sim.Rand) {
+	for i := 0; i < w.cfg.Records; i++ {
+		load(TUser, Key(uint64(i)), w.value(r))
+	}
+}
+
+// value draws a fresh FieldSize payload.
+func (w *Workload) value(r *sim.Rand) []byte {
+	b := make([]byte, w.cfg.FieldSize)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return b
+}
+
+// nextKey draws the next operation's record id.
+func (w *Workload) nextKey(r *sim.Rand) uint64 {
+	n := uint64(w.cfg.Records)
+	if w.zipf == nil {
+		return r.Uint64() % n
+	}
+	return scramble(w.zipf.Next(r), n)
+}
+
+// NextTxn implements core.Workload.
+func (w *Workload) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
+	c := &w.cfg
+	p := r.Intn(c.ReadPct + c.UpdatePct + c.ScanPct + c.RMWPct)
+	switch {
+	case p < c.ReadPct:
+		return "Read", w.Read(r)
+	case p < c.ReadPct+c.UpdatePct:
+		return "Update", w.Update(r)
+	case p < c.ReadPct+c.UpdatePct+c.ScanPct:
+		return "Scan", w.Scan(r)
+	default:
+		return "ReadModifyWrite", w.ReadModifyWrite(r)
+	}
+}
+
+// Read returns a single-key point read.
+func (w *Workload) Read(r *sim.Rand) core.TxnLogic {
+	key := Key(w.nextKey(r))
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TUser, Key: key, Body: func(c core.AccessCtx) bool {
+			c.Read(TUser, key)
+			return true
+		}})
+	}
+}
+
+// Update returns a blind full-value overwrite of one key.
+func (w *Workload) Update(r *sim.Rand) core.TxnLogic {
+	key := Key(w.nextKey(r))
+	val := w.value(r)
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TUser, Key: key, Body: func(c core.AccessCtx) bool {
+			return c.Update(TUser, key, val)
+		}})
+	}
+}
+
+// Scan returns a short range scan of up to MaxScanLen rows starting at a
+// drawn key. Keys are dense, so [start, start+len) covers exactly the
+// requested rows (clipped at the keyspace end). Like TPC-C StockLevel it
+// runs without the entity lock: the rows it passes may be owned by other
+// partitions, which the spec's read-committed scans permit.
+func (w *Workload) Scan(r *sim.Rand) core.TxnLogic {
+	start := w.nextKey(r)
+	n := uint64(r.Range(1, w.cfg.MaxScanLen))
+	end := start + n
+	if end > uint64(w.cfg.Records) {
+		end = uint64(w.cfg.Records)
+	}
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TUser, Key: Key(start), NoLock: true, Body: func(c core.AccessCtx) bool {
+			c.Scan(TUser, Key(start), Key(end), func(k, v []byte) bool { return true })
+			return true
+		}})
+	}
+}
+
+// ReadModifyWrite returns a read of one key followed by a full-value write
+// of the same key inside the same action.
+func (w *Workload) ReadModifyWrite(r *sim.Rand) core.TxnLogic {
+	key := Key(w.nextKey(r))
+	val := w.value(r)
+	return func(tx core.Tx) bool {
+		return tx.Phase(core.Action{Table: TUser, Key: key, Body: func(c core.AccessCtx) bool {
+			if _, ok := c.Read(TUser, key); !ok {
+				return false
+			}
+			return c.Update(TUser, key, val)
+		}})
+	}
+}

@@ -1,0 +1,78 @@
+package ycsb
+
+import (
+	"math"
+
+	"bionicdb/internal/sim"
+)
+
+// zipfian draws ranks in [0, n) with a Zipf(theta) distribution using the
+// Gray et al. "Quickly generating billion-record synthetic databases"
+// rejection-free formula, the same generator YCSB uses. All state is
+// precomputed at construction and read-only afterwards, so one zipfian can
+// serve concurrent runs; randomness comes entirely from the caller's
+// sim.Rand.
+type zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetaN float64
+	eta   float64
+	half  float64 // pow(0.5, theta), hoisted out of Next
+}
+
+// newZipfian precomputes the constants for n items at skew theta (YCSB's
+// default is 0.99; theta must be in (0, 1)).
+func newZipfian(n uint64, theta float64) *zipfian {
+	if n < 1 {
+		n = 1
+	}
+	zetaN := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return &zipfian{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetaN: zetaN,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetaN),
+		half:  math.Pow(0.5, theta),
+	}
+}
+
+// zeta returns the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank in [0, n): rank 0 is the hottest item.
+func (z *zipfian) Next(r *sim.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetaN
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// scramble spreads zipfian ranks across the keyspace (FNV-1a over the rank
+// bytes, mod n) so the hot set is not one contiguous key run — YCSB's
+// "scrambled zipfian". Hot ranks stay hot; only their key positions move.
+func scramble(rank, n uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (rank >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	return h % n
+}
