@@ -19,9 +19,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"bionicdb/internal/bench"
 	"bionicdb/internal/core"
@@ -57,13 +61,110 @@ var (
 	subscribers = flag.Int("subscribers", 100000, "TATP scale")
 	warehouses  = flag.Int("warehouses", 4, "TPC-C scale")
 	records     = flag.Int("records", 100000, "YCSB scale")
+	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+	benchjson   = flag.String("benchjson", "", "write kernel throughput + per-experiment wall-clock JSON to this file")
 )
 
 // collected accumulates every bench result of the invocation for -json.
 var collected []bench.Result
 
+// expWalls accumulates host wall-clock per experiment for -benchjson.
+var expWalls []expWall
+
+type expWall struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// fatal stops any active CPU profile — so the profile file is complete and
+// readable even on error exits — prints the error, and exits 1.
+func fatal(v any) {
+	pprof.StopCPUProfile()
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
+}
+
+// timed runs one experiment, recording its host wall-clock.
+func timed(name string, fn func()) {
+	start := time.Now()
+	fn()
+	expWalls = append(expWalls, expWall{Name: name, WallMs: float64(time.Since(start).Nanoseconds()) / 1e6})
+}
+
+// kernelStats measures the raw event kernel — a closed set of processes
+// timer-stepping through interleaved waits, the hot path under every
+// experiment — and reports sustained events/sec and allocations per event.
+// One warm-up pass lets pools and rings reach steady state, matching how
+// the kernel runs under a long sweep.
+func kernelStats() (eventsPerSec, allocsPerEvent float64, events uint64) {
+	measure := func() (uint64, time.Duration, uint64) {
+		env := sim.NewEnv()
+		defer env.Close()
+		const procs, steps = 16, 20000
+		for i := 0; i < procs; i++ {
+			i := i
+			env.Spawn("kernel", func(p *sim.Proc) {
+				for j := 0; j < steps; j++ {
+					p.Wait(sim.Duration(1 + (i+j)%7))
+				}
+			})
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			panic(err)
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return env.Executed(), wall, m1.Mallocs - m0.Mallocs
+	}
+	measure() // warm up
+	ev, wall, allocs := measure()
+	return float64(ev) / wall.Seconds(), float64(allocs) / float64(ev), ev
+}
+
+// kernelDoc is the -benchjson document: the perf-trajectory baseline a PR
+// compares against (BENCH_kernel.json at the repo root).
+type kernelDoc struct {
+	Suite  string `json:"suite"`
+	Kernel struct {
+		EventsPerSec   float64 `json:"events_per_sec"`
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+		Events         uint64  `json:"events_measured"`
+	} `json:"kernel"`
+	Experiments []expWall `json:"experiments"`
+}
+
+func writeBenchJSON(path string) error {
+	var doc kernelDoc
+	doc.Suite = "bionicbench-kernel"
+	doc.Kernel.EventsPerSec, doc.Kernel.AllocsPerEvent, doc.Kernel.Events = kernelStats()
+	doc.Experiments = expWalls
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *quick {
 		*subscribers = 10000
 		*warehouses = 2
@@ -73,49 +174,65 @@ func main() {
 	}
 	ran := false
 	if *all || *figFlag == 1 {
-		fig1()
+		timed("fig1", fig1)
 		ran = true
 	}
 	if *all || *figFlag == 2 {
-		fig2()
+		timed("fig2", fig2)
 		ran = true
 	}
 	if *all || *figFlag == 3 {
-		fig3()
+		timed("fig3", fig3)
 		ran = true
 	}
 	if *all || *figFlag == 4 {
-		fig4()
+		timed("fig4", fig4)
 		ran = true
 	}
 	if *all || *ablation {
-		runAblation()
+		timed("ablation", runAblation)
 		ran = true
 	}
 	if *all || *saturation {
-		runSaturation()
+		timed("saturation", runSaturation)
 		ran = true
 	}
 	if *all || *latencies {
-		runLatencies()
+		timed("latencies", runLatencies)
 		ran = true
 	}
 	if *all || *sweepFlag {
-		runSweep()
+		timed("sweep", runSweep)
 		ran = true
 	}
 	if !ran {
+		pprof.StopCPUProfile()
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote kernel bench baseline to %s\n", *benchjson)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut != "" {
 		if len(collected) == 0 {
-			fmt.Fprintf(os.Stderr, "-json %s: no results to write (the selected experiments run no measurements; use -fig 3, -fig 4, -ablation or -sweep)\n", *jsonOut)
-			os.Exit(1)
+			fatal(fmt.Sprintf("-json %s: no results to write (the selected experiments run no measurements; use -fig 3, -fig 4, -ablation or -sweep)", *jsonOut))
 		}
 		if err := bench.WriteJSONFile(*jsonOut, collected); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %d results to %s\n", len(collected), *jsonOut)
 	}
@@ -138,8 +255,7 @@ func runPoints(points []bench.Point) []bench.Result {
 	collected = append(collected, results...)
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Fprintln(os.Stderr, r.Err)
-			os.Exit(1)
+			fatal(r.Err)
 		}
 	}
 	return results
@@ -415,6 +531,7 @@ func runLatencies() {
 
 func probeThroughput(window int) (perSec float64, util float64) {
 	env := sim.NewEnv()
+	defer env.Close()
 	pl := platform.New(env, platform.HC2())
 	eng := treeprobe.New(pl, treeprobe.DefaultConfig())
 	tree := btree.New(btree.Config{

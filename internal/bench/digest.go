@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"bionicdb/internal/stats"
+)
+
+// Digest folds every simulation-determined field of a result set into one
+// SHA-256 hex string: the bit patterns of throughput and energy, commit and
+// abort counts, the full component breakdown, the latency distribution
+// summary, and per-transaction-type counts. Host-dependent fields (wall
+// clock) are excluded, so two runs of the same grid on any machine, at any
+// parallelism, under any kernel implementation must produce the same
+// digest — the golden tests use it to pin that optimizations never change
+// simulated output.
+func Digest(results []Result) string {
+	h := sha256.New()
+	w64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	for _, r := range results {
+		p := r.Point
+		fmt.Fprintf(h, "%s/%s/%s/t%d/s%d;", p.Group, p.Workload.Name, p.Engine.Name, p.Terminals, p.Seed)
+		if r.Err != nil {
+			fmt.Fprintf(h, "err=%s;", r.Err)
+			continue
+		}
+		res := r.Res
+		w64(uint64(res.Commits))
+		w64(uint64(res.Aborts))
+		wf(res.TPS)
+		wf(res.JoulesPerTxn)
+		wf(res.Energy.CPUDynamic)
+		wf(res.Energy.CPUIdle)
+		wf(res.Energy.FPGA)
+		for _, c := range stats.Components() {
+			w64(uint64(res.BD.Get(c)))
+		}
+		lat := res.Latency
+		w64(uint64(lat.Count()))
+		w64(uint64(lat.Sum()))
+		w64(uint64(lat.Min()))
+		w64(uint64(lat.Max()))
+		w64(uint64(lat.Percentile(50)))
+		w64(uint64(lat.Percentile(95)))
+		w64(uint64(lat.Percentile(99)))
+		names := make([]string, 0, len(res.TxnCounts))
+		for n := range res.TxnCounts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(h, "%s=%d;", n, res.TxnCounts[n])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/sim"
+)
+
+// goldenDigest pins the simulated output of the golden grid, bit for bit.
+// The value was recorded on the pre-optimization event kernel (PR 2); any
+// kernel or engine change that alters simulated results — event ordering,
+// random-stream consumption, cost charging — changes this digest and must
+// be treated as a behavior change, not a perf win. Perf work must keep it
+// stable.
+//
+// To re-pin after an intentional behavior change, run
+//
+//	go test ./internal/bench -run TestGoldenSweepDigest -v
+//
+// and copy the printed digest here, noting the change in the PR.
+const goldenDigest = "41bd8e7bcf4ecc652811fc909fb8bb95cfeef155894515b7335489f51fb05164"
+
+// goldenGrid covers all three engines and all three workloads: TATP
+// (single-partition actions), TPC-C (cross-partition fan-out, rollbacks,
+// PutFront lock-release traffic) and YCSB (scans without entity locks).
+func goldenGrid() Grid {
+	return Grid{
+		Group:     "golden",
+		Engines:   []EngineSpec{Conventional(), DORA(4), Bionic(4, core.AllOffloads(), 8)},
+		Workloads: []WorkloadSpec{smallTATP(), smallTPCC(), smallYCSB()},
+		Terminals: []int{8},
+		Seeds:     []uint64{42},
+		Warmup:    1 * sim.Millisecond,
+		Measure:   3 * sim.Millisecond,
+	}
+}
+
+// TestGoldenSweepDigest proves the kernel reproduces the recorded sweep
+// results exactly, on both serial and parallel executions.
+func TestGoldenSweepDigest(t *testing.T) {
+	grid := goldenGrid()
+	points := grid.Points()
+	serial := Run(points, Options{Parallel: 1})
+	for _, r := range serial {
+		if r.Err != nil {
+			t.Fatalf("%s/%s failed: %v", r.Point.Workload.Name, r.Point.Engine.Name, r.Err)
+		}
+	}
+	got := Digest(serial)
+	t.Logf("serial digest: %s", got)
+	if got != goldenDigest {
+		t.Errorf("serial sweep digest diverged from golden:\n got  %s\n want %s", got, goldenDigest)
+	}
+	par := Run(points, Options{Parallel: 4})
+	if pd := Digest(par); pd != got {
+		t.Errorf("parallel sweep digest diverged from serial:\n got  %s\n want %s", pd, got)
+	}
+}

@@ -62,6 +62,32 @@ func (t *Trace) Reset() {
 	t.NewPages = t.NewPages[:0]
 }
 
+// TracePool is a free list of traces. Engines draw a trace per tree
+// operation and return it after charging, so steady-state operations reuse
+// the visit storage instead of growing a fresh slice each time. The pool is
+// not safe for concurrent use from multiple goroutines; that matches the
+// simulator's execution model (one environment runs one process at a time),
+// and each engine owns its own pool.
+type TracePool struct {
+	free []*Trace
+}
+
+// Get returns a reset trace, reusing a returned one when available.
+func (p *TracePool) Get() *Trace {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	return &Trace{}
+}
+
+// Put returns a trace to the pool. The caller must not use it afterwards.
+func (p *TracePool) Put(t *Trace) {
+	t.Reset()
+	p.free = append(p.free, t)
+}
+
 // Depth returns the number of nodes visited on the root-to-leaf path.
 func (t *Trace) Depth() int { return len(t.Visits) }
 

@@ -33,8 +33,15 @@ type Conventional struct {
 	// they visit (crabbing approximated by striped latches).
 	latches []*sim.Resource
 
-	bd  *stats.Breakdown
-	ctr *stats.Counter
+	bd     *stats.Breakdown
+	ctr    *stats.Counter
+	traces btree.TracePool
+	kvs    sim.ScratchPool[kvPair]
+
+	// tableLocks memoizes lockmgr.TableLock names: two hierarchical lock
+	// acquisitions per row access both start with the table lock, and the
+	// set of tables is fixed at construction.
+	tableLocks map[uint16]string
 }
 
 const latchStripes = 64
@@ -48,6 +55,10 @@ func NewConventional(env *sim.Env, cfg *platform.Config, tables []TableDef) *Con
 		trees: make(map[uint16]*btree.Tree),
 		bd:    &stats.Breakdown{},
 		ctr:   stats.NewCounter(),
+	}
+	e.tableLocks = make(map[uint16]string, len(tables))
+	for _, def := range tables {
+		e.tableLocks[def.ID] = lockmgr.TableLock(def.ID)
 	}
 	e.dm = storage.NewDiskManager(pl.Disk, cfg.PageSize)
 	e.pool = bufferpool.New(pl, pl.Disk, bufferpool.DefaultConfig(1<<18, cfg.PageSize))
@@ -165,14 +176,15 @@ func (e *Conventional) rollback(task *platform.Task, ctx *convCtx) {
 // the abort record covers recovery). X locks are still held.
 func (e *Conventional) applyUndoRaw(task *platform.Task, u txn.UndoRec) {
 	tree := e.trees[u.Table]
-	var tr btree.Trace
+	tr := e.traces.Get()
 	switch u.Type {
 	case wal.RecInsert:
-		tree.Delete(u.Key, &tr)
+		tree.Delete(u.Key, tr)
 	case wal.RecUpdate, wal.RecDelete:
-		tree.Put(u.Key, u.Before, &tr)
+		tree.Put(u.Key, u.Before, tr)
 	}
-	e.chargeVisits(task, &tr, true)
+	e.chargeVisits(task, tr, true)
+	e.traces.Put(tr)
 }
 
 // chargeVisits converts a tree trace into the conventional cost model: a
@@ -242,7 +254,7 @@ func (c *convCtx) lock(table uint16, key []byte, tableMode, rowMode lockmgr.Mode
 	if c.err != nil {
 		return false
 	}
-	if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.TableLock(table), tableMode); err != nil {
+	if err := c.e.lm.Acquire(c.task, c.tx.ID, c.e.tableLocks[table], tableMode); err != nil {
 		c.err = err
 		return false
 	}
@@ -258,9 +270,10 @@ func (c *convCtx) Read(table uint16, key []byte) ([]byte, bool) {
 	if !c.lock(table, key, lockmgr.IS, lockmgr.S) {
 		return nil, false
 	}
-	var tr btree.Trace
-	val, ok := c.e.trees[table].Get(key, &tr)
-	c.e.chargeVisits(c.task, &tr, false)
+	tr := c.e.traces.Get()
+	val, ok := c.e.trees[table].Get(key, tr)
+	c.e.chargeVisits(c.task, tr, false)
+	c.e.traces.Put(tr)
 	return val, ok
 }
 
@@ -269,9 +282,10 @@ func (c *convCtx) Update(table uint16, key, val []byte) bool {
 	if !c.lock(table, key, lockmgr.IX, lockmgr.X) {
 		return false
 	}
-	var tr btree.Trace
-	prev, existed := c.e.trees[table].Put(key, val, &tr)
-	c.e.chargeVisits(c.task, &tr, true)
+	tr := c.e.traces.Get()
+	prev, existed := c.e.trees[table].Put(key, val, tr)
+	c.e.chargeVisits(c.task, tr, true)
+	c.e.traces.Put(tr)
 	if !existed {
 		c.e.trees[table].Delete(key, nil) // undo accidental insert
 		return false
@@ -285,9 +299,10 @@ func (c *convCtx) Insert(table uint16, key, val []byte) bool {
 	if !c.lock(table, key, lockmgr.IX, lockmgr.X) {
 		return false
 	}
-	var tr btree.Trace
-	prev, existed := c.e.trees[table].Put(key, val, &tr)
-	c.e.chargeVisits(c.task, &tr, true)
+	tr := c.e.traces.Get()
+	prev, existed := c.e.trees[table].Put(key, val, tr)
+	c.e.chargeVisits(c.task, tr, true)
+	c.e.traces.Put(tr)
 	if existed {
 		c.e.trees[table].Put(key, prev, nil) // restore
 		return false
@@ -301,9 +316,10 @@ func (c *convCtx) Delete(table uint16, key []byte) bool {
 	if !c.lock(table, key, lockmgr.IX, lockmgr.X) {
 		return false
 	}
-	var tr btree.Trace
-	val, ok := c.e.trees[table].Delete(key, &tr)
-	c.e.chargeVisits(c.task, &tr, true)
+	tr := c.e.traces.Get()
+	val, ok := c.e.trees[table].Delete(key, tr)
+	c.e.chargeVisits(c.task, tr, true)
+	c.e.traces.Put(tr)
 	if !ok {
 		return false
 	}
@@ -318,18 +334,19 @@ func (c *convCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool)
 	if c.err != nil {
 		return
 	}
-	if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.TableLock(table), lockmgr.IS); err != nil {
+	if err := c.e.lm.Acquire(c.task, c.tx.ID, c.e.tableLocks[table], lockmgr.IS); err != nil {
 		c.err = err
 		return
 	}
-	var tr btree.Trace
-	type kv struct{ k, v []byte }
-	var rows []kv
-	c.e.trees[table].Scan(from, to, &tr, func(k, v []byte) bool {
-		rows = append(rows, kv{k, v})
+	tr := c.e.traces.Get()
+	rows := c.e.kvs.Get()
+	defer func() { c.e.kvs.Put(rows) }()
+	c.e.trees[table].Scan(from, to, tr, func(k, v []byte) bool {
+		rows = append(rows, kvPair{k, v})
 		return true
 	})
-	c.e.chargeVisits(c.task, &tr, false)
+	c.e.chargeVisits(c.task, tr, false)
+	c.e.traces.Put(tr)
 	for _, r := range rows {
 		if err := c.e.lm.Acquire(c.task, c.tx.ID, lockmgr.RowLock(table, r.k), lockmgr.S); err != nil {
 			c.err = err

@@ -50,8 +50,10 @@ type DORAEngine struct {
 	store  *wal.Store
 	dm     *storage.DiskManager
 
-	bd  *stats.Breakdown
-	ctr *stats.Counter
+	bd     *stats.Breakdown
+	ctr    *stats.Counter
+	traces btree.TracePool
+	kvs    sim.ScratchPool[kvPair]
 }
 
 // NewDORA builds the software data-oriented baseline (window 1, no
@@ -243,7 +245,7 @@ func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
 		task := e.pl.NewTask(term.P, term.Core, e.bd)
 		task.Exec(stats.CompFrontEnd, frontEndInstr)
 		tx := e.tm.Begin(task)
-		dtx := &doraTx{e: e, task: task, tx: tx, term: term, involved: map[int]bool{}}
+		dtx := &doraTx{e: e, task: task, tx: tx, term: term}
 		ok := logic(dtx)
 		if dtx.refused {
 			e.rollback(term, task, dtx)
@@ -297,13 +299,12 @@ func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) 
 	e.releaseLocks(task, dtx)
 }
 
-// releaseLocks sends fire-and-forget release actions to every involved
-// partition.
+// releaseLocks sends fire-and-forget release actions (no RVP: nobody
+// awaits them) to every involved partition, in partition order.
 func (e *DORAEngine) releaseLocks(task *platform.Task, dtx *doraTx) {
 	txnID := dtx.tx.ID
-	for _, pidx := range sortedKeys(dtx.involved) {
-		rvp := dora.NewRVP(e.pl.Env, 1)
-		e.parts[pidx].Enqueue(task, &dora.Action{TxnID: txnID, Priority: true, RVP: rvp, Run: func(wt *platform.Task, pt *dora.Partition) bool {
+	for _, pidx := range dtx.involved {
+		e.parts[pidx].Enqueue(task, &dora.Action{TxnID: txnID, Priority: true, Run: func(wt *platform.Task, pt *dora.Partition) bool {
 			pt.ReleaseLocks(wt, txnID)
 			return true
 		}})
@@ -324,14 +325,15 @@ func (e *DORAEngine) applyUndoRaw(task *platform.Task, u txn.UndoRec) {
 		return
 	}
 	tree := e.trees[u.Table]
-	var tr btree.Trace
+	tr := e.traces.Get()
 	switch u.Type {
 	case wal.RecInsert:
-		tree.Delete(u.Key, &tr)
+		tree.Delete(u.Key, tr)
 	case wal.RecUpdate, wal.RecDelete:
-		tree.Put(u.Key, u.Before, &tr)
+		tree.Put(u.Key, u.Before, tr)
 	}
-	e.chargeVisits(task, &tr, true)
+	e.chargeVisits(task, tr, true)
+	e.traces.Put(tr)
 }
 
 // chargeVisits is the software data path (no page latches — PLP): a
@@ -396,8 +398,27 @@ type doraTx struct {
 	task     *platform.Task
 	tx       *txn.Txn
 	term     *Terminal
-	involved map[int]bool
+	involved []int // partitions touched, kept sorted and unique
 	refused  bool
+}
+
+// involve records pidx in the sorted involved set. Releases iterate this
+// set, so its order must be a pure function of the partitions touched —
+// sorted insertion keeps it identical to the map+sort it replaces without
+// the per-transaction map allocation.
+func (t *doraTx) involve(pidx int) {
+	for i, v := range t.involved {
+		if v == pidx {
+			return
+		}
+		if v > pidx {
+			t.involved = append(t.involved, 0)
+			copy(t.involved[i+1:], t.involved[i:])
+			t.involved[i] = pidx
+			return
+		}
+	}
+	t.involved = append(t.involved, pidx)
 }
 
 // Phase implements Tx: fan the actions out to their partitions and await
@@ -410,7 +431,7 @@ func (t *doraTx) Phase(actions ...Action) bool {
 	das := make([]*dora.Action, len(actions))
 	for i, a := range actions {
 		pidx := t.e.scheme.Route(a.Table, a.Key)
-		t.involved[pidx] = true
+		t.involve(pidx)
 		body := a.Body
 		lockKey := ""
 		if !a.NoLock {
@@ -454,19 +475,22 @@ func (c *doraCtx) Read(table uint16, key []byte) ([]byte, bool) {
 	case e.off.Overlay && e.off.Tree:
 		return e.ov.Get(c.task, table, key)
 	case e.off.Overlay:
-		var tr btree.Trace
-		val, ok := e.ov.TableByID(table).Tree.Get(key, &tr)
-		e.swProbeFPGA(c.task, &tr)
+		tr := e.traces.Get()
+		val, ok := e.ov.TableByID(table).Tree.Get(key, tr)
+		e.swProbeFPGA(c.task, tr)
+		e.traces.Put(tr)
 		return val, ok
 	case e.off.Tree:
-		var tr btree.Trace
-		val, ok := e.trees[table].Get(key, &tr)
-		e.hwProbeHost(c.task, &tr)
+		tr := e.traces.Get()
+		val, ok := e.trees[table].Get(key, tr)
+		e.hwProbeHost(c.task, tr)
+		e.traces.Put(tr)
 		return val, ok
 	default:
-		var tr btree.Trace
-		val, ok := e.trees[table].Get(key, &tr)
-		e.chargeVisits(c.task, &tr, false)
+		tr := e.traces.Get()
+		val, ok := e.trees[table].Get(key, tr)
+		e.chargeVisits(c.task, tr, false)
+		e.traces.Put(tr)
 		return val, ok
 	}
 }
@@ -483,9 +507,10 @@ func (c *doraCtx) Update(table uint16, key, val []byte) bool {
 		e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
 		return true
 	}
-	var tr btree.Trace
-	prev, existed := e.trees[table].Put(key, val, &tr)
-	e.chargeVisits(c.task, &tr, true)
+	tr := e.traces.Get()
+	prev, existed := e.trees[table].Put(key, val, tr)
+	e.chargeVisits(c.task, tr, true)
+	e.traces.Put(tr)
 	if !existed {
 		e.trees[table].Delete(key, nil)
 		return false
@@ -506,9 +531,10 @@ func (c *doraCtx) Insert(table uint16, key, val []byte) bool {
 		e.tm.LogInsert(c.task, c.tx, table, key, val)
 		return true
 	}
-	var tr btree.Trace
-	prev, existed := e.trees[table].Put(key, val, &tr)
-	e.chargeVisits(c.task, &tr, true)
+	tr := e.traces.Get()
+	prev, existed := e.trees[table].Put(key, val, tr)
+	e.chargeVisits(c.task, tr, true)
+	e.traces.Put(tr)
 	if existed {
 		e.trees[table].Put(key, prev, nil)
 		return false
@@ -528,9 +554,10 @@ func (c *doraCtx) Delete(table uint16, key []byte) bool {
 		e.tm.LogDelete(c.task, c.tx, table, key, val)
 		return true
 	}
-	var tr btree.Trace
-	val, ok := e.trees[table].Delete(key, &tr)
-	e.chargeVisits(c.task, &tr, true)
+	tr := e.traces.Get()
+	val, ok := e.trees[table].Delete(key, tr)
+	e.chargeVisits(c.task, tr, true)
+	e.traces.Put(tr)
 	if !ok {
 		return false
 	}
@@ -545,14 +572,15 @@ func (c *doraCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool)
 		e.ov.ScanRange(c.task, table, from, to, fn)
 		return
 	}
-	var tr btree.Trace
-	type kv struct{ k, v []byte }
-	var rows []kv
-	e.trees[table].Scan(from, to, &tr, func(k, v []byte) bool {
-		rows = append(rows, kv{k, v})
+	tr := e.traces.Get()
+	rows := e.kvs.Get()
+	defer func() { e.kvs.Put(rows) }()
+	e.trees[table].Scan(from, to, tr, func(k, v []byte) bool {
+		rows = append(rows, kvPair{k, v})
 		return true
 	})
-	e.chargeVisits(c.task, &tr, false)
+	e.chargeVisits(c.task, tr, false)
+	e.traces.Put(tr)
 	for _, r := range rows {
 		c.task.Exec(stats.CompBtree, 20)
 		if !fn(r.k, r.v) {

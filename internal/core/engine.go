@@ -91,3 +91,9 @@ const maxRetries = 25
 // frontEndInstr is the admission/parse/route cost charged per transaction
 // attempt (the Figure 3 "Front-end" component).
 const frontEndInstr = 500
+
+// kvPair is one materialized scan row. Scans materialize their rows before
+// applying locks and charges (the tree must not be walked across park
+// points); the buffers come from an engine-private sim.ScratchPool so the
+// steady-state scan path stops allocating.
+type kvPair struct{ k, v []byte }

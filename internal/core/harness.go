@@ -98,6 +98,11 @@ func (r *Result) TxnNames() []string {
 // covers only the measurement window.
 func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, error) {
 	env := sim.NewEnv()
+	// Reap processes left parked on every exit path: a process panic makes
+	// RunUntil return early with workers still blocked on queues and locks,
+	// and even a clean run may leave daemons parked on primitives nobody
+	// will signal again. Without this, every errored run leaks goroutines.
+	defer env.Close()
 	eng := mk(env)
 	pl := eng.Platform()
 	root := sim.NewRand(cfg.Seed)
@@ -109,11 +114,14 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	warmT := sim.Time(cfg.Warmup)
 	endT := warmT + sim.Time(cfg.Measure)
 
+	// The latency reservoir (one flat histogram) and the per-type counts
+	// are preallocated here, once per run — nothing on the per-transaction
+	// recording path allocates.
 	res := &Result{
 		Engine:    eng.Name(),
 		Workload:  wl.Name(),
 		Latency:   &stats.Histogram{},
-		TxnCounts: make(map[string]int64),
+		TxnCounts: make(map[string]int64, 16),
 	}
 
 	var startBD, endBD stats.Breakdown

@@ -45,8 +45,10 @@ func DefaultCosts() Costs {
 type Action struct {
 	TxnID   uint64
 	LockKey string // "" = no locking (undo, release, single-phase reads)
-	RVP     *RVP
-	Run     func(t *platform.Task, pt *Partition) bool
+	// RVP may be nil for fire-and-forget actions (lock releases) whose
+	// completion nobody awaits.
+	RVP *RVP
+	Run func(t *platform.Task, pt *Partition) bool
 
 	// Priority actions (lock releases, undo) jump the input queue so they
 	// never convoy behind a backlog of actions waiting for the very locks
@@ -167,16 +169,18 @@ type Partition struct {
 
 	pl    *platform.Platform
 	reg   *Registry
-	in    *sim.Queue
+	in    *sim.Queue[*Action]
 	locks map[string]*entityLock
 	bd    *stats.Breakdown
 
 	qAddr uint64 // queue slots, for coherence-miss charging
 
-	inflight int
-	slotFree *sim.Signal
-	done     int64
-	defers   int64
+	inflight   int
+	slotFree   *sim.Signal
+	done       int64
+	defers     int64
+	actionName string         // spawn name for windowed child actions, built once
+	idle       []*actionChild // pooled child processes awaiting work
 
 	// HWQueue, when non-nil, is the hardware queue-management engine: the
 	// enqueue/dequeue path charges it instead of the software costs.
@@ -197,16 +201,17 @@ func NewPartition(pl *platform.Platform, reg *Registry, id int, core *platform.C
 		window = 1
 	}
 	return &Partition{
-		ID:     id,
-		Core:   core,
-		Costs:  costs,
-		Window: window,
-		pl:     pl,
-		reg:    reg,
-		in:     sim.NewQueue(pl.Env, fmt.Sprintf("part%d.in", id), 0),
-		locks:  make(map[string]*entityLock),
-		bd:     bd,
-		qAddr:  pl.AllocHost(64 * 1024),
+		ID:         id,
+		Core:       core,
+		Costs:      costs,
+		Window:     window,
+		pl:         pl,
+		reg:        reg,
+		in:         sim.NewQueue[*Action](pl.Env, fmt.Sprintf("part%d.in", id), 0),
+		locks:      make(map[string]*entityLock),
+		bd:         bd,
+		qAddr:      pl.AllocHost(64 * 1024),
+		actionName: fmt.Sprintf("part%d.action", id),
 	}
 }
 
@@ -246,15 +251,21 @@ func (pt *Partition) Defers() int64 { return pt.defers }
 func (pt *Partition) Start() {
 	pt.pl.Env.Spawn(fmt.Sprintf("part%d.worker", pt.ID), func(p *sim.Proc) {
 		for {
-			v, ok := pt.in.Get(p)
+			a, ok := pt.in.Get(p)
 			if !ok {
 				for pt.inflight > 0 {
 					pt.slotFree = sim.NewSignal(p.Env())
 					pt.slotFree.Await(p)
 				}
+				// Drained: release the pooled child processes so they
+				// exit and the partition leaves nothing parked behind.
+				for _, c := range pt.idle {
+					c.quit = true
+					pt.pl.Env.Resume(c.proc)
+				}
+				pt.idle = nil
 				return
 			}
-			a := v.(*Action)
 			if pt.Window == 1 {
 				task := pt.pl.NewTask(p, pt.Core, pt.bd)
 				pt.dispatch(task, a)
@@ -265,14 +276,48 @@ func (pt *Partition) Start() {
 				pt.slotFree.Await(p)
 			}
 			pt.inflight++
-			pt.pl.Env.Spawn(fmt.Sprintf("part%d.action", pt.ID), func(cp *sim.Proc) {
-				task := pt.pl.NewTask(cp, pt.Core, pt.bd)
-				pt.dispatch(task, a)
-				pt.inflight--
-				if pt.slotFree != nil && !pt.slotFree.Fired() {
-					pt.slotFree.Fire(nil)
-				}
-			})
+			pt.startAction(a)
+		}
+	})
+}
+
+// actionChild is one pooled windowed-action process: a single goroutine
+// serving many actions across its lifetime, parked in the partition's idle
+// list between actions.
+type actionChild struct {
+	proc *sim.Proc
+	next *Action
+	quit bool
+}
+
+// startAction hands a to a pooled child process, spawning a fresh one only
+// when the pool is empty. A pool Resume and a fresh Spawn each push exactly
+// one wake event at the current time, so reuse changes per-action
+// allocation (no Proc, no goroutine), never the event schedule.
+func (pt *Partition) startAction(a *Action) {
+	if n := len(pt.idle); n > 0 {
+		c := pt.idle[n-1]
+		pt.idle = pt.idle[:n-1]
+		c.next = a
+		pt.pl.Env.Resume(c.proc)
+		return
+	}
+	c := &actionChild{next: a}
+	c.proc = pt.pl.Env.Spawn(pt.actionName, func(cp *sim.Proc) {
+		for {
+			a := c.next
+			c.next = nil
+			task := pt.pl.NewTask(cp, pt.Core, pt.bd)
+			pt.dispatch(task, a)
+			pt.inflight--
+			if pt.slotFree != nil && !pt.slotFree.Fired() {
+				pt.slotFree.Fire(nil)
+			}
+			pt.idle = append(pt.idle, c)
+			cp.Suspend()
+			if c.quit {
+				return
+			}
 		}
 	})
 }
@@ -320,7 +365,9 @@ func (pt *Partition) finish(task *platform.Task, a *Action, vote bool) {
 	task.Exec(stats.CompDora, pt.Costs.RVPInstr)
 	task.Flush()
 	pt.done++
-	a.RVP.Arrive(vote)
+	if a.RVP != nil {
+		a.RVP.Arrive(vote)
+	}
 }
 
 // ReleaseLocks frees every local lock txnID holds in this partition and

@@ -66,11 +66,12 @@ type Engine struct {
 	durable wal.LSN // handles <= durable are on the SSD
 
 	waiters []hwWaiter
-	kick    *sim.Queue
+	kick    *sim.Queue[struct{}]
 	stopped bool
 
-	appends int64
-	syncs   int64
+	spareBatch []byte // retired epoch batch, reused for the next epoch
+	appends    int64
+	syncs      int64
 }
 
 type hwWaiter struct {
@@ -87,7 +88,7 @@ func New(pl *platform.Platform, store *wal.Store, cfg Config) *Engine {
 		unit:    pl.NewHWUnit("log-insert", 4),
 		staging: make([][]byte, pl.Cfg.Cores),
 		counts:  make([]int, pl.Cfg.Cores),
-		kick:    sim.NewQueue(pl.Env, "logengine-kick", 1),
+		kick:    sim.NewQueue[struct{}](pl.Env, "logengine-kick", 1),
 	}
 	for i := 0; i < pl.Cfg.Cores; i++ {
 		e.stageAddr = append(e.stageAddr, pl.AllocHost(64<<10))
@@ -167,7 +168,12 @@ func (e *Engine) pending() int {
 // syncOnce collects one epoch: all staging buffers, one PCIe push to the
 // unit for arbitration, then the ordered batch to the SSD.
 func (e *Engine) syncOnce(p *sim.Proc, core *platform.Core) {
-	var batch []byte
+	// The staging buffers and the epoch batch are reused across epochs:
+	// the batch append copies staged bytes out synchronously, so the
+	// truncated staging arrays are free for new appends even while the
+	// epoch's device write is still in flight.
+	batch := e.spareBatch[:0]
+	e.spareBatch = nil
 	records := 0
 	task := e.pl.NewTask(p, core, nil)
 	for i := range e.staging {
@@ -177,12 +183,13 @@ func (e *Engine) syncOnce(p *sim.Proc, core *platform.Core) {
 		task.Exec(stats.CompLog, e.cfg.SyncCPUInstr)
 		batch = append(batch, e.staging[i]...)
 		records += e.counts[i]
-		e.staging[i] = nil
+		e.staging[i] = e.staging[i][:0]
 		e.counts[i] = 0
 	}
 	epochHandle := e.handle // everything staged before this point is in the batch
 	task.Flush()
 	if len(batch) == 0 {
+		e.spareBatch = batch[:0]
 		return
 	}
 	e.syncs++
@@ -193,6 +200,7 @@ func (e *Engine) syncOnce(p *sim.Proc, core *platform.Core) {
 	// FPGA -> host -> SSD: the ordered epoch lands in the log file.
 	e.pl.PCIe.Transfer(p, len(batch))
 	e.store.Write(p, batch)
+	e.spareBatch = batch[:0]
 	e.durable = epochHandle
 	kept := e.waiters[:0]
 	for _, w := range e.waiters {

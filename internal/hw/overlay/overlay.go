@@ -79,6 +79,24 @@ type Store struct {
 	evictions int64
 	merged    int64
 	stopped   bool
+	traces    btree.TracePool
+
+	idleWriters []*writeWorker           // pooled posted-write completion processes
+	rowsPool    sim.ScratchPool[scanRow] // pooled scan materialization buffers
+}
+
+// scanRow is one materialized scan result row.
+type scanRow struct{ k, v []byte }
+
+// writeWorker is one pooled posted-write completion process: a single
+// goroutine serving many hardware write completions, parked in the store's
+// idle list between jobs. Its visits buffer is reused across jobs, so the
+// steady-state write path snapshots the caller's trace without allocating.
+type writeWorker struct {
+	proc     *sim.Proc
+	visits   []btree.Visit
+	valBytes int
+	quit     bool
 }
 
 // New creates an overlay store whose probes run on probe. The merge daemon
@@ -148,23 +166,27 @@ func (s *Store) Get(t *platform.Task, tableID uint16, key []byte) (val []byte, o
 // work, with splits (SMOs) charged to software as §5.3 requires.
 func (s *Store) Put(t *platform.Task, tableID uint16, key, val []byte) (prev []byte, existed bool) {
 	tbl := s.tables[tableID]
-	var tr btree.Trace
-	prev, existed = tbl.Tree.Put(key, val, &tr)
-	s.chargeWrite(t, tbl, &tr, len(val))
+	tr := s.traces.Get()
+	prev, existed = tbl.Tree.Put(key, val, tr)
+	s.chargeWrite(t, tbl, tr, len(val))
+	s.traces.Put(tr)
 	if !existed {
 		s.rows++
 		s.maybeEvict(t)
 	}
-	tbl.dirty[string(key)] = struct{}{}
+	if _, dirty := tbl.dirty[string(key)]; !dirty {
+		tbl.dirty[string(key)] = struct{}{}
+	}
 	return prev, existed
 }
 
 // Delete removes a row (a tombstone merge to the base).
 func (s *Store) Delete(t *platform.Task, tableID uint16, key []byte) (val []byte, ok bool) {
 	tbl := s.tables[tableID]
-	var tr btree.Trace
-	val, ok = tbl.Tree.Delete(key, &tr)
-	s.chargeWrite(t, tbl, &tr, 0)
+	tr := s.traces.Get()
+	val, ok = tbl.Tree.Delete(key, tr)
+	s.chargeWrite(t, tbl, tr, 0)
+	s.traces.Put(tr)
 	if ok {
 		s.rows--
 		delete(tbl.dirty, string(key))
@@ -178,15 +200,16 @@ func (s *Store) Delete(t *platform.Task, tableID uint16, key []byte) (val []byte
 // operations without racing tree mutations.
 func (s *Store) ScanRange(t *platform.Task, tableID uint16, from, to []byte, fn func(key, val []byte) bool) {
 	tbl := s.tables[tableID]
-	var tr btree.Trace
+	tr := s.traces.Get()
+	defer s.traces.Put(tr)
 	t.Exec(stats.CompBtree, 100)
 	t.Flush()
 	s.pl.PCIe.Transfer(t.P, 64)
-	type kv struct{ k, v []byte }
-	var rows []kv
+	rows := s.rowsPool.Get()
+	defer func() { s.rowsPool.Put(rows) }()
 	rowBytes := 0
-	tbl.Tree.Scan(from, to, &tr, func(k, v []byte) bool {
-		rows = append(rows, kv{k, v})
+	tbl.Tree.Scan(from, to, tr, func(k, v []byte) bool {
+		rows = append(rows, scanRow{k, v})
 		rowBytes += len(k) + len(v)
 		return true
 	})
@@ -239,28 +262,51 @@ func (s *Store) chargeWrite(t *platform.Task, tbl *Table, tr *btree.Trace, valBy
 			s.leafTouch[v.ID] = t.P.Now()
 		}
 	}
-	// The hardware's half of the write, off the critical path. The trace
-	// is snapshotted because the caller may reuse it.
-	visits := append([]btree.Visit(nil), tr.Visits...)
-	s.pl.Env.Spawn("overlay.write", func(p *sim.Proc) {
-		s.pl.PCIe.Transfer(p, 64+valBytes)
-		snap := btree.Trace{Visits: visits}
-		res := s.probe.WalkTrace(p, &snap)
-		if res.Aborted {
-			// The write path faults like the read path.
-			s.faults++
-			s.pl.Disk.Transfer(p, s.pl.Cfg.PageSize)
-			s.clearEvicted(&snap)
+	// The hardware's half of the write, off the critical path, on a pooled
+	// completion process. The trace is snapshotted into the worker's
+	// reusable buffer because the caller may reuse it. A pool Resume and a
+	// fresh Spawn each push exactly one wake event at the current time, so
+	// pooling never changes the event schedule.
+	if n := len(s.idleWriters); n > 0 {
+		w := s.idleWriters[n-1]
+		s.idleWriters = s.idleWriters[:n-1]
+		w.visits = append(w.visits[:0], tr.Visits...)
+		w.valBytes = valBytes
+		s.pl.Env.Resume(w.proc)
+		return
+	}
+	w := &writeWorker{visits: append([]btree.Visit(nil), tr.Visits...), valBytes: valBytes}
+	w.proc = s.pl.Env.Spawn("overlay.write", func(p *sim.Proc) {
+		for {
+			valBytes := w.valBytes
+			s.pl.PCIe.Transfer(p, 64+valBytes)
+			snap := btree.Trace{Visits: w.visits}
+			res := s.probe.WalkTrace(p, &snap)
+			if res.Aborted {
+				// The write path faults like the read path.
+				s.faults++
+				s.pl.Disk.Transfer(p, s.pl.Cfg.PageSize)
+				s.clearEvicted(&snap)
+			}
+			s.unit.Work(p, s.cfg.WriteCycles+valBytes/8)
+			s.pl.SGDRAM.Transfer(p, 64+valBytes)
+			if s.stopped {
+				return
+			}
+			s.idleWriters = append(s.idleWriters, w)
+			p.Suspend()
+			if w.quit {
+				return
+			}
 		}
-		s.unit.Work(p, s.cfg.WriteCycles+valBytes/8)
-		s.pl.SGDRAM.Transfer(p, 64+valBytes)
 	})
 }
 
 // touch refreshes recency for the leaf that served key.
 func (s *Store) touch(tree *btree.Tree, key []byte) {
-	var tr btree.Trace
-	tree.Get(key, &tr) // structural re-walk, no timing: bookkeeping only
+	tr := s.traces.Get()
+	defer s.traces.Put(tr)
+	tree.Get(key, tr) // structural re-walk, no timing: bookkeeping only
 	for _, v := range tr.Visits {
 		if v.Leaf {
 			s.leafTouch[v.ID] = s.pl.Env.Now()
@@ -276,9 +322,10 @@ func (s *Store) fault(t *platform.Task, tree *btree.Tree, key []byte) {
 	t.Flush()
 	s.pl.Disk.Transfer(t.P, s.pl.Cfg.PageSize)
 	s.pl.SGDRAM.Transfer(t.P, s.pl.Cfg.PageSize)
-	var tr btree.Trace
-	tree.Get(key, &tr)
-	s.clearEvicted(&tr)
+	tr := s.traces.Get()
+	tree.Get(key, tr)
+	s.clearEvicted(tr)
+	s.traces.Put(tr)
 }
 
 func (s *Store) clearEvicted(tr *btree.Trace) {
@@ -418,8 +465,16 @@ func smallestDirty(dirty map[string]struct{}, budget int) []string {
 	return h
 }
 
-// Stop quiesces the merge daemon after a final drain.
-func (s *Store) Stop() { s.stopped = true }
+// Stop quiesces the merge daemon after a final drain and releases the
+// pooled write-completion processes.
+func (s *Store) Stop() {
+	s.stopped = true
+	for _, w := range s.idleWriters {
+		w.quit = true
+		s.pl.Env.Resume(w.proc)
+	}
+	s.idleWriters = nil
+}
 
 // Faults returns the number of abort-and-fault round trips.
 func (s *Store) Faults() int64 { return s.faults }

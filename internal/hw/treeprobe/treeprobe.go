@@ -57,6 +57,7 @@ type Engine struct {
 
 	probes int64
 	aborts int64
+	traces btree.TracePool
 }
 
 // New creates a probe engine on pl.
@@ -95,9 +96,10 @@ func (e *Engine) Probe(t *platform.Task, tree *btree.Tree, key []byte) Result {
 
 	// Hardware side: walk the real tree, charging SG-DRAM and pipeline
 	// time per visited node.
-	var tr btree.Trace
-	val, found := tree.Get(key, &tr)
-	res := e.walk(t, &tr)
+	tr := e.traces.Get()
+	val, found := tree.Get(key, tr)
+	res := e.walk(t, tr)
+	e.traces.Put(tr)
 	if !res.Aborted {
 		res.Val, res.Found = val, found
 	}
@@ -137,9 +139,10 @@ func (e *Engine) walkP(p *sim.Proc, tr *btree.Trace) Result {
 // (height × SG-DRAM round trips) against the comparator pipeline's issue
 // rate setting the knee.
 func (e *Engine) ProbeLocal(p *sim.Proc, tree *btree.Tree, key []byte) Result {
-	var tr btree.Trace
-	val, found := tree.Get(key, &tr)
-	res := e.walkP(p, &tr)
+	tr := e.traces.Get()
+	val, found := tree.Get(key, tr)
+	res := e.walkP(p, tr)
+	e.traces.Put(tr)
 	if !res.Aborted {
 		res.Val, res.Found = val, found
 	}

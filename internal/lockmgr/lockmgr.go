@@ -9,6 +9,7 @@ package lockmgr
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
@@ -115,6 +116,14 @@ type Manager struct {
 	latches []*sim.Resource
 	addr    uint64
 
+	// Free lists and scratch space: lock states and hold lists churn once
+	// per lock and per transaction, so steady-state acquire/release cycles
+	// reuse their storage instead of reallocating it.
+	freeStates []*lockState
+	freeHolds  [][]string
+	dfsSeen    map[uint64]bool
+	dfsBlocked []uint64
+
 	acquires  int64
 	waits     int64
 	deadlocks int64
@@ -129,6 +138,7 @@ func New(pl *platform.Platform, cfg Config) *Manager {
 		locks:   make(map[string]*lockState),
 		holds:   make(map[uint64][]string),
 		waiting: make(map[uint64]string),
+		dfsSeen: make(map[uint64]bool),
 		addr:    pl.AllocHost(1 << 20),
 	}
 	for i := 0; i < cfg.LatchStripes; i++ {
@@ -160,7 +170,12 @@ func (m *Manager) Acquire(t *platform.Task, txn uint64, name string, mode Mode) 
 	latch.Acquire(t.P)
 	ls := m.locks[name]
 	if ls == nil {
-		ls = &lockState{granted: make(map[uint64]Mode)}
+		if n := len(m.freeStates); n > 0 {
+			ls = m.freeStates[n-1]
+			m.freeStates = m.freeStates[:n-1]
+		} else {
+			ls = &lockState{granted: make(map[uint64]Mode)}
+		}
 		m.locks[name] = ls
 	}
 	held, holds := ls.granted[txn]
@@ -221,7 +236,14 @@ func (m *Manager) grantable(ls *lockState, txn uint64, mode Mode, upgrade bool) 
 func (m *Manager) grant(ls *lockState, txn uint64, name string, mode Mode, upgrade bool) {
 	ls.granted[txn] = mode
 	if !upgrade {
-		m.holds[txn] = append(m.holds[txn], name)
+		held, ok := m.holds[txn]
+		if !ok {
+			if n := len(m.freeHolds); n > 0 {
+				held = m.freeHolds[n-1]
+				m.freeHolds = m.freeHolds[:n-1]
+			}
+		}
+		m.holds[txn] = append(held, name)
 	}
 }
 
@@ -229,8 +251,10 @@ func (m *Manager) grant(ls *lockState, txn uint64, name string, mode Mode, upgra
 func (m *Manager) wouldDeadlock(txn uint64, ls *lockState, mode Mode, upgrade bool) bool {
 	// Blockers: incompatible current holders plus queued waiters (which
 	// we would wait behind unless upgrading).
-	visited := map[uint64]bool{}
-	var blocked []uint64
+	clear(m.dfsSeen)
+	visited := m.dfsSeen
+	blocked := m.dfsBlocked[:0]
+	defer func() { m.dfsBlocked = blocked[:0] }()
 	for holder, hm := range ls.granted {
 		if holder != txn && !Compatible(mode, hm) {
 			blocked = append(blocked, holder)
@@ -310,8 +334,16 @@ func (m *Manager) ReleaseAll(t *platform.Task, txn uint64) {
 		m.promote(ls, name)
 		if len(ls.granted) == 0 && len(ls.queue) == 0 {
 			delete(m.locks, name)
+			ls.queue = nil
+			m.freeStates = append(m.freeStates, ls)
 		}
 		latch.Release()
+	}
+	if names != nil {
+		for i := range names {
+			names[i] = ""
+		}
+		m.freeHolds = append(m.freeHolds, names[:0])
 	}
 }
 
@@ -364,12 +396,23 @@ func (m *Manager) Deadlocks() int64 { return m.deadlocks }
 // WaitTime returns the cumulative blocked time across all transactions.
 func (m *Manager) WaitTime() sim.Duration { return m.waitTime }
 
-// RowLock names a row lock for table t and primary key.
+// RowLock names a row lock for table t and primary key. The name is built
+// by hand — identical bytes to the old fmt.Sprintf("r%d:%s", ...) — because
+// two lock names are built per row access on the conventional engine's hot
+// path and fmt is several allocations per call.
 func RowLock(table uint16, key []byte) string {
-	return fmt.Sprintf("r%d:%s", table, key)
+	buf := make([]byte, 0, 8+len(key))
+	buf = append(buf, 'r')
+	buf = strconv.AppendUint(buf, uint64(table), 10)
+	buf = append(buf, ':')
+	buf = append(buf, key...)
+	return string(buf)
 }
 
-// TableLock names a table-level lock.
+// TableLock names a table-level lock (identical to the old
+// fmt.Sprintf("t%d", table)).
 func TableLock(table uint16) string {
-	return fmt.Sprintf("t%d", table)
+	buf := make([]byte, 1, 6)
+	buf[0] = 't'
+	return string(strconv.AppendUint(buf, uint64(table), 10))
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 )
@@ -13,15 +12,25 @@ import (
 //
 // An Env must be created with NewEnv and driven from a single goroutine via
 // Run or RunUntil.
+//
+// The event queue is a hand-specialized binary min-heap over a flat []event
+// keyed by (at, seq). Because seq is unique the key is a total order, so the
+// pop sequence is independent of heap layout details — and unlike
+// container/heap there is no interface boxing on push or type assertion on
+// pop, which keeps the steady-state event loop allocation-free.
 type Env struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	cur    *Proc
-	parked chan struct{}
-	live   int   // processes that have been spawned and not yet finished
-	err    error // first process panic, adorned with a stack trace
-	closed bool
+	now      Time
+	seq      uint64
+	events   []event // binary min-heap ordered by (at, seq)
+	cur      *Proc
+	parked   chan struct{}
+	live     int   // processes that have been spawned and not yet finished
+	err      error // first process panic, adorned with a stack trace
+	closed   bool
+	dead     bool // Close ran: parked processes are being (or have been) reaped
+	horizon  Time // active RunUntil bound; fast-path waits must not pass it
+	procs    []*Proc
+	executed uint64 // events executed, including fast-path waits
 }
 
 type event struct {
@@ -29,25 +38,6 @@ type event struct {
 	seq uint64
 	p   *Proc  // process to wake, or
 	fn  func() // callback to run in the scheduler
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -58,9 +48,15 @@ func NewEnv() *Env {
 // Now returns the current simulated time.
 func (e *Env) Now() Time { return e.now }
 
+// Executed reports how many events the environment has executed so far
+// (timer wakes, callbacks, and fast-path clock advances). It is the
+// denominator for kernel events/sec measurements.
+func (e *Env) Executed() uint64 { return e.executed }
+
 // At schedules fn to run in the scheduler goroutine at time t (clamped to
 // the present). Callbacks must not block; they are for lightweight
-// bookkeeping such as statistics sampling.
+// bookkeeping such as statistics sampling. Consecutive due callbacks run
+// back-to-back in the scheduler with no goroutine handoff.
 func (e *Env) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
@@ -68,10 +64,53 @@ func (e *Env) At(t Time, fn func()) {
 	e.push(event{at: t, fn: fn})
 }
 
+// push assigns the next sequence number and sifts the event up the heap.
 func (e *Env) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.events[parent]
+		if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
+			break
+		}
+		e.events[i] = p
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+// pop removes and returns the minimum event.
+func (e *Env) pop() event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = event{} // drop fn/p references for the collector
+	e.events = e.events[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n {
+				if e.events[r].at < e.events[c].at ||
+					(e.events[r].at == e.events[c].at && e.events[r].seq < e.events[c].seq) {
+					c = r
+				}
+			}
+			if last.at < e.events[c].at || (last.at == e.events[c].at && last.seq < e.events[c].seq) {
+				break
+			}
+			e.events[i] = e.events[c]
+			i = c
+		}
+		e.events[i] = last
+	}
+	return top
 }
 
 // scheduleWake arranges for p to resume at time t. Exactly one wake may be
@@ -87,21 +126,57 @@ func (e *Env) scheduleWake(p *Proc, t Time) {
 // Run executes events until none remain or a process panics. Processes left
 // blocked on queues, resources or signals when the event queue drains are
 // abandoned; use Close on queues and Fire on signals to release them for a
-// clean shutdown. Run returns the first process panic as an error.
+// clean shutdown, or Env.Close to reap whatever remains. Run returns the
+// first process panic as an error.
 func (e *Env) Run() error { return e.RunUntil(Time(1<<63 - 1)) }
 
 // RunUntil executes events with timestamps not after horizon. The clock
 // stops at the last executed event (it does not jump to the horizon).
+//
+// Control is baton-passed: the driver dispatches the first event, and from
+// then on each parking (or finishing) process pops the next event and wakes
+// its target directly. A classic central scheduler costs two goroutine
+// handoffs per event (process -> scheduler -> next process); the baton
+// costs one, and the event order — hence every simulated result — is
+// byte-for-byte the same.
 func (e *Env) RunUntil(horizon Time) error {
 	if e.closed {
 		return fmt.Errorf("sim: environment already closed")
 	}
-	for len(e.events) > 0 {
-		if e.events[0].at > horizon {
-			break
+	e.horizon = horizon
+	if e.dispatch(nil) == batonHanded {
+		<-e.parked
+	}
+	if e.err != nil {
+		e.closed = true
+		return e.err
+	}
+	return nil
+}
+
+// baton reports where dispatch left control.
+type baton int
+
+const (
+	batonIdle   baton = iota // nothing runnable: the caller still holds the baton
+	batonHanded              // another process was woken; the caller must block
+	batonSelf                // the caller's own wake came up: keep running
+)
+
+// dispatch executes ready events until one hands the baton to a process or
+// nothing remains within the horizon. self is the dispatching process (nil
+// for the driver); popping self's own wake returns batonSelf so the caller
+// continues without any channel handoff at all. Callback events run inline
+// in the dispatching goroutine — batched back-to-back with no handoff.
+func (e *Env) dispatch(self *Proc) baton {
+	e.cur = nil
+	for {
+		if e.dead || e.err != nil || len(e.events) == 0 || e.events[0].at > e.horizon {
+			return batonIdle
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.at
+		e.executed++
 		if ev.fn != nil {
 			ev.fn()
 			continue
@@ -109,15 +184,40 @@ func (e *Env) RunUntil(horizon Time) error {
 		p := ev.p
 		p.waking = false
 		e.cur = p
+		if p == self {
+			return batonSelf
+		}
+		p.wake <- struct{}{}
+		return batonHanded
+	}
+}
+
+// procKilled is the panic sentinel Close injects into parked processes so
+// their goroutines unwind and exit; Spawn's recovery treats it as a normal
+// termination, not a process error.
+type procKilled struct{}
+
+// Close reaps every process still blocked in the environment — processes
+// left parked when RunUntil returned early on a panic, or blocked forever
+// on queues and resources no one will ever signal. Each is woken once and
+// unwound via a panic sentinel, so its goroutine exits and Live drops to
+// zero. The environment is unusable afterwards; Close is idempotent and
+// must be called from the driving goroutine, never from a process.
+func (e *Env) Close() {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	e.closed = true
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
 		p.wake <- struct{}{}
 		<-e.parked
-		e.cur = nil
-		if e.err != nil {
-			e.closed = true
-			return e.err
-		}
 	}
-	return nil
+	e.procs = nil
+	e.events = nil
 }
 
 // Spawn starts a new simulated process executing fn. The process begins at
@@ -126,18 +226,38 @@ func (e *Env) RunUntil(horizon Time) error {
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, wake: make(chan struct{})}
 	e.live++
+	// procs exists so Close can reap; drop finished entries once they
+	// dominate, so long runs with many short-lived processes stay O(live).
+	if len(e.procs) >= 64 && len(e.procs) >= 2*e.live {
+		kept := e.procs[:0]
+		for _, old := range e.procs {
+			if !old.done {
+				kept = append(kept, old)
+			}
+		}
+		for i := len(kept); i < len(e.procs); i++ {
+			e.procs[i] = nil
+		}
+		e.procs = kept
+	}
+	e.procs = append(e.procs, p)
 	go func() {
-		<-p.wake
 		defer func() {
 			if r := recover(); r != nil {
-				if e.err == nil {
+				if _, killed := r.(procKilled); !killed && e.err == nil {
 					e.err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
 				}
 			}
 			p.done = true
 			e.live--
-			e.parked <- struct{}{}
+			if e.dispatch(nil) == batonIdle {
+				e.parked <- struct{}{}
+			}
 		}()
+		<-p.wake
+		if e.dead {
+			panic(procKilled{})
+		}
 		fn(p)
 	}()
 	e.scheduleWake(p, e.now)
@@ -168,24 +288,65 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current simulated time.
 func (p *Proc) Now() Time { return p.env.now }
 
-// park yields to the scheduler and blocks until some event wakes p. The
-// caller must have arranged a wake (a timer event or registration on a
-// queue/resource/signal waiter list) before parking.
+// park yields the baton and blocks until some event wakes p. The caller
+// must have arranged a wake (a timer event or registration on a
+// queue/resource/signal waiter list) before parking. The parking goroutine
+// dispatches the next event itself; the baton returns to the driver only
+// when nothing is runnable.
 func (p *Proc) park() {
-	p.env.parked <- struct{}{}
-	<-p.wake
+	if p.env.dead {
+		panic(procKilled{})
+	}
+	switch p.env.dispatch(p) {
+	case batonSelf:
+		// Our own wake was the next event: continue without blocking.
+	case batonHanded:
+		<-p.wake
+	case batonIdle:
+		p.env.parked <- struct{}{}
+		<-p.wake
+	}
+	if p.env.dead {
+		panic(procKilled{})
+	}
 }
 
 // Wait advances the process's local time by d without consuming any modelled
 // resource. Negative durations are treated as zero.
+//
+// When the wake this Wait would schedule is provably the next event — no
+// queued event precedes it and it stays inside the driver's horizon — the
+// clock advances directly: no heap push, no park, no scheduler round trip.
+// The schedule is bit-identical to the slow path because the skipped event
+// would have been popped immediately with nothing able to run in between.
 func (p *Proc) Wait(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.scheduleWake(p, p.env.now.Add(d))
+	e := p.env
+	t := e.now.Add(d)
+	if e.cur == p && t <= e.horizon && (len(e.events) == 0 || e.events[0].at > t) {
+		e.now = t
+		e.executed++
+		return
+	}
+	e.scheduleWake(p, t)
 	p.park()
 }
 
 // Yield reschedules the process at the current time, letting every other
 // runnable event at this timestamp execute first.
 func (p *Proc) Yield() { p.Wait(0) }
+
+// Suspend parks the process indefinitely. The caller must have registered
+// the process somewhere a later Resume will find it — Suspend/Resume is the
+// primitive behind worker pools that reuse one process (and its goroutine)
+// for many units of work instead of spawning per unit. A Resume costs
+// exactly what a Spawn's initial wake costs (one event at the current
+// time), so pooling changes allocation behavior, never the event schedule.
+func (p *Proc) Suspend() { p.park() }
+
+// Resume schedules suspended process p to continue at the current time.
+// Resuming a process that is not suspended (or already has a wake pending)
+// panics.
+func (e *Env) Resume(p *Proc) { e.scheduleWake(p, e.now) }

@@ -1,0 +1,320 @@
+package sim
+
+import "testing"
+
+// TestQueueAccountingWithPutFront pins the accounting contract across both
+// enqueue paths: Puts counts every enqueue, MaxLen tracks the high-water
+// mark, and ResidenceTime integrates queue time for normal and priority
+// items alike.
+func TestQueueAccountingWithPutFront(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Spawn("p", func(p *Proc) {
+		q.Put(p, 1)   // resident 30ns
+		q.PutFront(2) // resident 30ns, at the head
+		p.Wait(10 * Nanosecond)
+		q.Put(p, 3) // resident 20ns
+		p.Wait(20 * Nanosecond)
+		if v, _ := q.TryGet(); v != 2 {
+			t.Errorf("head = %v, want the PutFront item 2", v)
+		}
+		q.TryGet()
+		q.TryGet()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Puts() != 3 {
+		t.Errorf("Puts = %d, want 3 (PutFront must count)", q.Puts())
+	}
+	if q.MaxLen() != 3 {
+		t.Errorf("MaxLen = %d, want 3", q.MaxLen())
+	}
+	if want := 80 * Nanosecond; q.ResidenceTime() != want {
+		t.Errorf("ResidenceTime = %v, want %v", q.ResidenceTime(), want)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
+
+// TestQueuePutFrontAheadOfWaitingItems checks that a priority item passes
+// every item already waiting in the queue, including across ring growth.
+func TestQueuePutFrontAheadOfWaitingItems(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	var got []int
+	env.Spawn("p", func(p *Proc) {
+		for i := 0; i < 20; i++ { // force several ring growths
+			q.Put(p, i)
+		}
+		q.PutFront(100)
+		q.PutFront(101) // most recent priority item first
+		for {
+			v, ok := q.TryGet()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 22 || got[0] != 101 || got[1] != 100 {
+		t.Fatalf("priority items did not jump the backlog: %v", got)
+	}
+	for i := 0; i < 20; i++ {
+		if got[i+2] != i {
+			t.Fatalf("backlog order disturbed: %v", got)
+		}
+	}
+}
+
+// TestQueueRingWraparound cycles a bounded queue far past its ring capacity
+// in both FIFO and priority directions, checking order survives wraps.
+func TestQueueRingWraparound(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Spawn("p", func(p *Proc) {
+		next := 0
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 3; i++ {
+				q.Put(p, round*10+i)
+			}
+			for i := 0; i < 3; i++ {
+				v, ok := q.TryGet()
+				if !ok || v != round*10+i {
+					t.Errorf("round %d: got %v ok=%v, want %d", round, v, ok, round*10+i)
+					return
+				}
+				next++
+			}
+		}
+		if q.Len() != 0 {
+			t.Errorf("queue not empty after cycles: %d", q.Len())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseReapsParkedProcesses is the goroutine-leak regression test: a
+// process panic ends the run while other processes are still parked on a
+// queue nobody will ever close; Env.Close must unwind and reap them all.
+func TestCloseReapsParkedProcesses(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	for i := 0; i < 3; i++ {
+		env.Spawn("blocked", func(p *Proc) {
+			q.Get(p) // parks forever: no producer, never closed
+		})
+	}
+	env.Spawn("boom", func(p *Proc) {
+		p.Wait(Nanosecond)
+		panic("kaboom")
+	})
+	if err := env.Run(); err == nil {
+		t.Fatal("expected the process panic as an error")
+	}
+	if env.Live() == 0 {
+		t.Fatal("expected parked processes to be live before Close")
+	}
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("Close left %d processes parked", env.Live())
+	}
+	env.Close() // idempotent
+	if err := env.RunUntil(Time(Second)); err == nil {
+		t.Fatal("closed environment must refuse to run")
+	}
+}
+
+// TestCloseReapsCleanRunLeftovers checks Close also reaps processes that a
+// clean (error-free) run left blocked on kernel primitives.
+func TestCloseReapsCleanRunLeftovers(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	env.Spawn("holder", func(p *Proc) {
+		res.Acquire(p) // acquired and never released
+	})
+	env.Spawn("waiter", func(p *Proc) {
+		p.Wait(Nanosecond)
+		res.Acquire(p) // parks forever
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Live() != 1 {
+		t.Fatalf("Live = %d, want 1 parked waiter", env.Live())
+	}
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("Close left %d processes", env.Live())
+	}
+}
+
+// TestWaitFastPathRespectsCallbacks checks the direct-advance fast path
+// never skips over a scheduled callback: the callback must observe its own
+// timestamp, strictly before the waiting process resumes.
+func TestWaitFastPathRespectsCallbacks(t *testing.T) {
+	env := NewEnv()
+	var cbAt, wakeAt Time
+	env.At(3*Time(Nanosecond), func() { cbAt = env.Now() })
+	env.Spawn("w", func(p *Proc) {
+		p.Wait(5 * Nanosecond) // must take the slow path: callback intervenes
+		wakeAt = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cbAt != 3*Time(Nanosecond) {
+		t.Errorf("callback ran at %v, want 3ns", cbAt)
+	}
+	if wakeAt != 5*Time(Nanosecond) {
+		t.Errorf("process resumed at %v, want 5ns", wakeAt)
+	}
+}
+
+// TestWaitFastPathStopsAtHorizon checks the fast path cannot run the clock
+// past a RunUntil horizon (the slow path parks the process instead).
+func TestWaitFastPathStopsAtHorizon(t *testing.T) {
+	env := NewEnv()
+	ticks := 0
+	env.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(Nanosecond) // sole runnable: eligible for the fast path
+			ticks++
+		}
+	})
+	if err := env.RunUntil(Time(7 * Nanosecond)); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 7 {
+		t.Fatalf("ticks = %d, want 7 (fast path overran the horizon)", ticks)
+	}
+	if env.Now() != Time(7*Nanosecond) {
+		t.Fatalf("clock at %v, want 7ns", env.Now())
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 100 {
+		t.Fatalf("ticks = %d after Run, want 100", ticks)
+	}
+}
+
+// TestSuspendResume checks the worker-pool primitive: a suspended process
+// resumes at the current time, after already-queued same-time events.
+func TestSuspendResume(t *testing.T) {
+	env := NewEnv()
+	var worker *Proc
+	var order []string
+	idle := false
+	env.Spawn("worker", func(p *Proc) {
+		worker = p
+		for round := 0; round < 2; round++ {
+			idle = true
+			p.Suspend()
+			order = append(order, "work")
+		}
+	})
+	env.Spawn("feeder", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			p.Wait(Microsecond)
+			if !idle {
+				t.Error("feeder ran before worker went idle")
+			}
+			idle = false
+			order = append(order, "feed")
+			p.Env().Resume(worker)
+			p.Wait(Microsecond / 2)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"feed", "work", "feed", "work"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestExecutedCountsEvents checks the events/sec denominator includes both
+// scheduled wakes and fast-path advances.
+func TestExecutedCountsEvents(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("w", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(Nanosecond)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 spawn wake + 10 waits.
+	if got := env.Executed(); got != 11 {
+		t.Fatalf("Executed = %d, want 11", got)
+	}
+}
+
+// BenchmarkKernelEventLoop measures the steady-state event loop: a closed
+// set of processes timer-stepping through interleaved waits, the hot path
+// under every simulated measurement. Run with -benchmem: the loop must not
+// allocate per event (the container/heap kernel paid two boxing
+// allocations per event plus waiter-slice churn).
+func BenchmarkKernelEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	const procs = 16
+	for i := 0; i < procs; i++ {
+		i := i
+		env.Spawn("p", func(p *Proc) {
+			for j := 0; j < b.N; j++ {
+				p.Wait(Duration(1 + (i+j)%7))
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(env.Executed())/float64(b.N), "events/op")
+}
+
+// BenchmarkKernelQueuePingPong measures a producer/consumer pair through a
+// Queue — the DORA action-queue shape — including a PutFront per round.
+func BenchmarkKernelQueuePingPong(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	done := 0
+	env.Spawn("consumer", func(p *Proc) {
+		for {
+			_, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			done++
+		}
+	})
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+			q.PutFront(i)
+			p.Wait(Nanosecond)
+		}
+		q.Close()
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if done != 2*b.N {
+		b.Fatalf("done = %d, want %d", done, 2*b.N)
+	}
+}

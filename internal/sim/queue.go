@@ -5,51 +5,78 @@ package sim
 // zero capacity means unbounded. Get blocks while the queue is empty; Put
 // blocks while a bounded queue is full.
 //
+// Items live in a typed power-of-two ring buffer: steady-state Put/Get pairs
+// allocate nothing, and PutFront — the priority path lock releases take so
+// they never convoy behind a backlog — is O(1) instead of a double prepend.
+//
 // Closing a queue releases all blocked getters (Get returns ok=false once
 // drained) so engines can shut workers down deterministically.
-type Queue struct {
+type Queue[T any] struct {
 	env      *Env
 	name     string
-	capacity int // 0 = unbounded
-	items    []any
-	getters  []*Proc
-	putters  []*Proc
+	capacity int       // 0 = unbounded
+	buf      []slot[T] // ring; len is 0 or a power of two
+	head     int       // index of the oldest item
+	n        int       // live items
+	getters  waitRing
+	putters  waitRing
 	closed   bool
 
 	puts    int64
 	maxLen  int
 	sumWait Duration // total residence time of dequeued items
-	stamps  []Time   // enqueue timestamps, parallel to items
+}
+
+// slot pairs an item with its enqueue timestamp for residence accounting.
+type slot[T any] struct {
+	v     T
+	stamp Time
 }
 
 // NewQueue returns a queue with the given capacity; capacity 0 is unbounded.
-func NewQueue(env *Env, name string, capacity int) *Queue {
-	return &Queue{env: env, name: name, capacity: capacity}
+func NewQueue[T any](env *Env, name string, capacity int) *Queue[T] {
+	return &Queue[T]{env: env, name: name, capacity: capacity}
 }
 
 // Len reports the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // MaxLen reports the high-water mark of the queue length.
-func (q *Queue) MaxLen() int { return q.maxLen }
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
 
 // Puts reports the number of items ever enqueued.
-func (q *Queue) Puts() int64 { return q.puts }
+func (q *Queue[T]) Puts() int64 { return q.puts }
 
 // ResidenceTime reports the cumulative time dequeued items spent queued.
-func (q *Queue) ResidenceTime() Duration { return q.sumWait }
+func (q *Queue[T]) ResidenceTime() Duration { return q.sumWait }
 
 // Closed reports whether Close has been called.
-func (q *Queue) Closed() bool { return q.closed }
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// grow doubles the ring, unwrapping items to the front.
+func (q *Queue[T]) grow() {
+	q.buf = growRing(q.buf, q.head, q.n)
+	q.head = 0
+}
+
+func (q *Queue[T]) bumpStats() {
+	q.puts++
+	if q.n > q.maxLen {
+		q.maxLen = q.n
+	}
+	if w := q.getters.pop(); w != nil {
+		q.env.scheduleWake(w, q.env.now)
+	}
+}
 
 // Put enqueues v, blocking while a bounded queue is full. Put panics if the
 // queue is closed: producers must be quiesced before Close.
-func (q *Queue) Put(p *Proc, v any) {
-	for q.capacity > 0 && len(q.items) >= q.capacity {
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.capacity > 0 && q.n >= q.capacity {
 		if q.closed {
 			panic("sim: put on closed queue " + q.name)
 		}
-		q.putters = append(q.putters, p)
+		q.putters.push(p)
 		p.park()
 	}
 	if q.closed {
@@ -59,11 +86,11 @@ func (q *Queue) Put(p *Proc, v any) {
 }
 
 // TryPut enqueues v only if the queue has room right now.
-func (q *Queue) TryPut(v any) bool {
+func (q *Queue[T]) TryPut(v T) bool {
 	if q.closed {
 		panic("sim: put on closed queue " + q.name)
 	}
-	if q.capacity > 0 && len(q.items) >= q.capacity {
+	if q.capacity > 0 && q.n >= q.capacity {
 		return false
 	}
 	q.enqueue(v)
@@ -73,82 +100,73 @@ func (q *Queue) TryPut(v any) bool {
 // PutFront enqueues v at the head of the queue, ahead of waiting items —
 // for priority messages (lock releases, completions) that must not convoy
 // behind a backlog. It never blocks.
-func (q *Queue) PutFront(v any) {
+func (q *Queue[T]) PutFront(v T) {
 	if q.closed {
 		panic("sim: put on closed queue " + q.name)
 	}
-	q.items = append([]any{v}, q.items...)
-	q.stamps = append([]Time{q.env.now}, q.stamps...)
-	q.puts++
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	if q.n == len(q.buf) {
+		q.grow()
 	}
-	if len(q.getters) > 0 {
-		w := q.getters[0]
-		q.getters = q.getters[1:]
-		q.env.scheduleWake(w, q.env.now)
-	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = slot[T]{v: v, stamp: q.env.now}
+	q.n++
+	q.bumpStats()
 }
 
-func (q *Queue) enqueue(v any) {
-	q.items = append(q.items, v)
-	q.stamps = append(q.stamps, q.env.now)
-	q.puts++
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+func (q *Queue[T]) enqueue(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
 	}
-	if len(q.getters) > 0 {
-		w := q.getters[0]
-		q.getters = q.getters[1:]
-		q.env.scheduleWake(w, q.env.now)
-	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = slot[T]{v: v, stamp: q.env.now}
+	q.n++
+	q.bumpStats()
 }
 
 // Get dequeues the oldest item, blocking while the queue is empty. It
 // returns ok=false only when the queue is closed and drained.
-func (q *Queue) Get(p *Proc) (v any, ok bool) {
-	for len(q.items) == 0 {
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for q.n == 0 {
 		if q.closed {
-			return nil, false
+			var zero T
+			return zero, false
 		}
-		q.getters = append(q.getters, p)
+		q.getters.push(p)
 		p.park()
 	}
 	return q.dequeue(), true
 }
 
 // TryGet dequeues the oldest item only if one is available right now.
-func (q *Queue) TryGet() (v any, ok bool) {
-	if len(q.items) == 0 {
-		return nil, false
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if q.n == 0 {
+		var zero T
+		return zero, false
 	}
 	return q.dequeue(), true
 }
 
-func (q *Queue) dequeue() any {
-	v := q.items[0]
-	q.items = q.items[1:]
-	q.sumWait += q.env.now.Sub(q.stamps[0])
-	q.stamps = q.stamps[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
+func (q *Queue[T]) dequeue() T {
+	s := q.buf[q.head]
+	q.buf[q.head] = slot[T]{} // release the item reference
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	q.sumWait += q.env.now.Sub(s.stamp)
+	if w := q.putters.pop(); w != nil {
 		q.env.scheduleWake(w, q.env.now)
 	}
-	return v
+	return s.v
 }
 
 // Close marks the queue closed and wakes every blocked getter; they drain
 // remaining items and then observe ok=false.
-func (q *Queue) Close() {
+func (q *Queue[T]) Close() {
 	if q.closed {
 		return
 	}
 	q.closed = true
-	for _, w := range q.getters {
+	for w := q.getters.pop(); w != nil; w = q.getters.pop() {
 		q.env.scheduleWake(w, q.env.now)
 	}
-	q.getters = nil
 }
 
 // Signal is a one-shot completion event carrying a value: the handshake for

@@ -10,7 +10,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  waitRing
 
 	busy      Duration // integral of inUse over time
 	lastStamp Time
@@ -37,7 +37,7 @@ func (r *Resource) Acquire(p *Proc) {
 	r.acquires++
 	start := r.env.now
 	for r.inUse >= r.capacity {
-		r.waiters = append(r.waiters, p)
+		r.waiters.push(p)
 		p.park()
 	}
 	r.waited += r.env.now.Sub(start)
@@ -63,9 +63,7 @@ func (r *Resource) Release() {
 	}
 	r.stamp()
 	r.inUse--
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if w := r.waiters.pop(); w != nil {
 		r.env.scheduleWake(w, r.env.now)
 	}
 }
@@ -82,7 +80,7 @@ func (r *Resource) Use(p *Proc, d Duration) {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of processes blocked in Acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // BusyTime returns the slot-time integral consumed so far (slots × time).
 func (r *Resource) BusyTime() Duration { r.stamp(); return r.busy }

@@ -268,7 +268,7 @@ func TestReleaseIdlePanics(t *testing.T) {
 
 func TestQueueFIFOAndBlocking(t *testing.T) {
 	env := NewEnv()
-	q := NewQueue(env, "q", 0)
+	q := NewQueue[int](env, "q", 0)
 	var got []int
 	env.Spawn("consumer", func(p *Proc) {
 		for i := 0; i < 3; i++ {
@@ -277,7 +277,7 @@ func TestQueueFIFOAndBlocking(t *testing.T) {
 				t.Error("queue closed early")
 				return
 			}
-			got = append(got, v.(int))
+			got = append(got, v)
 		}
 	})
 	env.Spawn("producer", func(p *Proc) {
@@ -296,7 +296,7 @@ func TestQueueFIFOAndBlocking(t *testing.T) {
 
 func TestQueueBoundedBlocksPutter(t *testing.T) {
 	env := NewEnv()
-	q := NewQueue(env, "q", 1)
+	q := NewQueue[int](env, "q", 1)
 	var putDone Time
 	env.Spawn("producer", func(p *Proc) {
 		q.Put(p, 1)
@@ -305,7 +305,7 @@ func TestQueueBoundedBlocksPutter(t *testing.T) {
 	})
 	env.Spawn("consumer", func(p *Proc) {
 		p.Wait(5 * Microsecond)
-		if v, ok := q.Get(p); !ok || v.(int) != 1 {
+		if v, ok := q.Get(p); !ok || v != 1 {
 			t.Errorf("got %v, %v", v, ok)
 		}
 	})
@@ -319,7 +319,7 @@ func TestQueueBoundedBlocksPutter(t *testing.T) {
 
 func TestQueueCloseReleasesGetters(t *testing.T) {
 	env := NewEnv()
-	q := NewQueue(env, "q", 0)
+	q := NewQueue[int](env, "q", 0)
 	drained := 0
 	closedSeen := 0
 	for i := 0; i < 3; i++ {
@@ -353,7 +353,7 @@ func TestQueueCloseReleasesGetters(t *testing.T) {
 
 func TestQueueStats(t *testing.T) {
 	env := NewEnv()
-	q := NewQueue(env, "q", 0)
+	q := NewQueue[int](env, "q", 0)
 	env.Spawn("p", func(p *Proc) {
 		q.Put(p, 1)
 		q.Put(p, 2)
@@ -529,7 +529,7 @@ func TestOverlappingWaitsThroughResource(t *testing.T) {
 
 func TestQueuePutFrontJumpsBacklog(t *testing.T) {
 	env := NewEnv()
-	q := NewQueue(env, "q", 0)
+	q := NewQueue[int](env, "q", 0)
 	var got []int
 	env.Spawn("producer", func(p *Proc) {
 		q.Put(p, 1)
@@ -537,7 +537,7 @@ func TestQueuePutFrontJumpsBacklog(t *testing.T) {
 		q.PutFront(99)
 		for i := 0; i < 3; i++ {
 			v, _ := q.Get(p)
-			got = append(got, v.(int))
+			got = append(got, v)
 		}
 	})
 	if err := env.Run(); err != nil {
@@ -550,8 +550,8 @@ func TestQueuePutFrontJumpsBacklog(t *testing.T) {
 
 func TestQueuePutFrontWakesGetter(t *testing.T) {
 	env := NewEnv()
-	q := NewQueue(env, "q", 0)
-	var got any
+	q := NewQueue[string](env, "q", 0)
+	var got string
 	env.Spawn("consumer", func(p *Proc) {
 		got, _ = q.Get(p)
 	})

@@ -90,7 +90,8 @@ type Manager struct {
 	bufAddr uint64 // timing address of the buffer (cache-modelled copies)
 
 	waiters []commitWaiter
-	kick    *sim.Queue
+	kick    *sim.Queue[struct{}]
+	spare   []byte // retired flush buffer, reused for the next fill
 	stopped bool
 
 	appends int64
@@ -111,7 +112,7 @@ func NewManager(pl *platform.Platform, store *Store, cfg ManagerConfig) *Manager
 		latch:   sim.NewResource(pl.Env, "log-latch", 1),
 		base:    store.Durable(),
 		bufAddr: pl.AllocHost(cfg.FlushBytes * 2),
-		kick:    sim.NewQueue(pl.Env, "log-kick", 1),
+		kick:    sim.NewQueue[struct{}](pl.Env, "log-kick", 1),
 	}
 	pl.Env.Spawn("log-flusher", func(p *sim.Proc) { m.flusherLoop(p) })
 	return m
@@ -189,11 +190,17 @@ func (m *Manager) flushOnce(p *sim.Proc) {
 	if len(m.buf) == 0 {
 		return
 	}
+	// Double-buffer: appends landing while the device write is in flight
+	// go to the spare, and the flushed buffer becomes the next spare once
+	// the store has copied it. Steady-state flush cycles reuse two buffers
+	// instead of reallocating the insert buffer every interval.
 	chunk := m.buf
-	m.buf = nil
+	m.buf = m.spare[:0]
+	m.spare = nil
 	m.base += LSN(len(chunk))
 	m.flushes++
 	m.store.Write(p, chunk)
+	m.spare = chunk[:0]
 	m.wakeWaiters()
 }
 

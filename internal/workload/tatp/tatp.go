@@ -6,7 +6,7 @@
 package tatp
 
 import (
-	"fmt"
+	"strconv"
 
 	"bionicdb/internal/core"
 	"bionicdb/internal/sim"
@@ -72,7 +72,11 @@ func (w *Workload) Scheme(partitions int) core.PartitionScheme {
 			return int(sidOf(table, key) % uint64(partitions))
 		},
 		Entity: func(table uint16, key []byte) string {
-			return fmt.Sprintf("s%d", sidOf(table, key))
+			// Manual build of the old fmt.Sprintf("s%d", sid) string: the
+			// entity is computed per action, so it must not pay fmt.
+			buf := make([]byte, 1, 21)
+			buf[0] = 's'
+			return string(strconv.AppendUint(buf, sidOf(table, key), 10))
 		},
 	}
 }
@@ -87,7 +91,12 @@ func sidOf(table uint16, key []byte) uint64 {
 
 // SubNbr renders the 15-digit subscriber number of s_id.
 func SubNbr(sid uint64) []byte {
-	return []byte(fmt.Sprintf("%015d", sid))
+	b := make([]byte, 15)
+	for i := 14; i >= 0; i-- {
+		b[i] = byte('0' + sid%10)
+		sid /= 10
+	}
+	return b
 }
 
 func parseSubNbr(nbr []byte) uint64 {
@@ -312,10 +321,10 @@ func (w *Workload) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
 
 // GetSubscriberData reads one subscriber row (read-only, 35%).
 func (w *Workload) GetSubscriberData(r *sim.Rand) core.TxnLogic {
-	sid := w.nuRand(r)
+	key := SubscriberKey(w.nuRand(r))
 	return func(tx core.Tx) bool {
-		return tx.Phase(core.Action{Table: TSubscriber, Key: SubscriberKey(sid), Body: func(c core.AccessCtx) bool {
-			c.Read(TSubscriber, SubscriberKey(sid))
+		return tx.Phase(core.Action{Table: TSubscriber, Key: key, Body: func(c core.AccessCtx) bool {
+			c.Read(TSubscriber, key)
 			return true
 		}})
 	}
@@ -325,9 +334,10 @@ func (w *Workload) GetSubscriberData(r *sim.Rand) core.TxnLogic {
 func (w *Workload) GetAccessData(r *sim.Rand) core.TxnLogic {
 	sid := w.nuRand(r)
 	ai := uint32(r.Range(1, 4))
+	key := AccessInfoKey(sid, ai)
 	return func(tx core.Tx) bool {
-		return tx.Phase(core.Action{Table: TAccessInfo, Key: AccessInfoKey(sid, ai), Body: func(c core.AccessCtx) bool {
-			c.Read(TAccessInfo, AccessInfoKey(sid, ai))
+		return tx.Phase(core.Action{Table: TAccessInfo, Key: key, Body: func(c core.AccessCtx) bool {
+			c.Read(TAccessInfo, key)
 			return true
 		}})
 	}
@@ -340,9 +350,10 @@ func (w *Workload) GetNewDestination(r *sim.Rand) core.TxnLogic {
 	sf := uint32(r.Range(1, 4))
 	startTime := uint32(r.Intn(3) * 8)
 	endTime := uint32(r.Range(1, 24))
+	sfKey := SFKey(sid, sf)
 	return func(tx core.Tx) bool {
-		return tx.Phase(core.Action{Table: TSpecialFacility, Key: SFKey(sid, sf), Body: func(c core.AccessCtx) bool {
-			val, ok := c.Read(TSpecialFacility, SFKey(sid, sf))
+		return tx.Phase(core.Action{Table: TSpecialFacility, Key: sfKey, Body: func(c core.AccessCtx) bool {
+			val, ok := c.Read(TSpecialFacility, sfKey)
 			if !ok {
 				return true // unsuccessful but committed
 			}
@@ -368,24 +379,26 @@ func (w *Workload) UpdateSubscriberData(r *sim.Rand) core.TxnLogic {
 	sf := uint32(r.Range(1, 4))
 	bit := uint32(1) << uint(r.Intn(10))
 	dataA := uint32(r.Intn(256))
+	subKey := SubscriberKey(sid)
+	sfKey := SFKey(sid, sf)
 	return func(tx core.Tx) bool {
-		return tx.Phase(core.Action{Table: TSubscriber, Key: SubscriberKey(sid), Body: func(c core.AccessCtx) bool {
-			val, ok := c.Read(TSubscriber, SubscriberKey(sid))
+		return tx.Phase(core.Action{Table: TSubscriber, Key: subKey, Body: func(c core.AccessCtx) bool {
+			val, ok := c.Read(TSubscriber, subKey)
 			if !ok {
 				return false
 			}
 			sub := DecodeSubscriber(val)
 			sub.Bits ^= bit
-			if !c.Update(TSubscriber, SubscriberKey(sid), sub.Encode()) {
+			if !c.Update(TSubscriber, subKey, sub.Encode()) {
 				return false
 			}
-			sfVal, ok := c.Read(TSpecialFacility, SFKey(sid, sf))
+			sfVal, ok := c.Read(TSpecialFacility, sfKey)
 			if !ok {
 				return false // spec: roll back
 			}
 			row := DecodeSpecialFacility(sfVal)
 			row.DataA = dataA
-			return c.Update(TSpecialFacility, SFKey(sid, sf), row.Encode())
+			return c.Update(TSpecialFacility, sfKey, row.Encode())
 		}})
 	}
 }
@@ -402,14 +415,14 @@ func (w *Workload) UpdateLocation(r *sim.Rand) core.TxnLogic {
 			if !ok {
 				return false
 			}
-			target := storage.DecodeUint64(idxVal)
-			val, ok := c.Read(TSubscriber, SubscriberKey(target))
+			target := SubscriberKey(storage.DecodeUint64(idxVal))
+			val, ok := c.Read(TSubscriber, target)
 			if !ok {
 				return false
 			}
 			sub := DecodeSubscriber(val)
 			sub.VLR = vlr
-			return c.Update(TSubscriber, SubscriberKey(target), sub.Encode())
+			return c.Update(TSubscriber, target, sub.Encode())
 		}})
 	}
 }

@@ -9,6 +9,7 @@ package tpcc
 
 import (
 	"fmt"
+	"strconv"
 
 	"bionicdb/internal/core"
 	"bionicdb/internal/sim"
@@ -122,18 +123,31 @@ func (w *Workload) Scheme(partitions int) core.PartitionScheme {
 			}
 		},
 		Entity: func(table uint16, key []byte) string {
+			// Manual builds of the old fmt.Sprintf("%c%d.%d", ...) strings:
+			// entities are computed per action, so they must not pay fmt.
 			switch table {
 			case TItem:
 				return "" // read-only after load
 			case TStock:
-				return fmt.Sprintf("s%d.%d", storage.DecodeUint64(key), storage.DecodeUint64(key[8:]))
+				return entity2('s', storage.DecodeUint64(key), storage.DecodeUint64(key[8:]))
 			case TWarehouse:
-				return fmt.Sprintf("w%d", storage.DecodeUint64(key))
+				buf := make([]byte, 1, 21)
+				buf[0] = 'w'
+				return string(strconv.AppendUint(buf, storage.DecodeUint64(key), 10))
 			default:
-				return fmt.Sprintf("d%d.%d", storage.DecodeUint64(key), storage.DecodeUint64(key[8:]))
+				return entity2('d', storage.DecodeUint64(key), storage.DecodeUint64(key[8:]))
 			}
 		},
 	}
+}
+
+// entity2 renders prefix + a + "." + b, the two-part entity-lock name.
+func entity2(prefix byte, a, b uint64) string {
+	buf := make([]byte, 1, 44)
+	buf[0] = prefix
+	buf = strconv.AppendUint(buf, a, 10)
+	buf = append(buf, '.')
+	return string(strconv.AppendUint(buf, b, 10))
 }
 
 // Keys.

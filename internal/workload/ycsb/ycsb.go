@@ -8,7 +8,7 @@
 package ycsb
 
 import (
-	"fmt"
+	"strconv"
 
 	"bionicdb/internal/core"
 	"bionicdb/internal/sim"
@@ -134,7 +134,11 @@ func (w *Workload) Scheme(partitions int) core.PartitionScheme {
 			return int(storage.DecodeUint64(key) % uint64(partitions))
 		},
 		Entity: func(table uint16, key []byte) string {
-			return fmt.Sprintf("u%d", storage.DecodeUint64(key))
+			// Manual build of the old fmt.Sprintf("u%d", id) string: the
+			// entity is computed per action, so it must not pay fmt.
+			buf := make([]byte, 1, 21)
+			buf[0] = 'u'
+			return string(strconv.AppendUint(buf, storage.DecodeUint64(key), 10))
 		},
 	}
 }
@@ -218,9 +222,10 @@ func (w *Workload) Scan(r *sim.Rand) core.TxnLogic {
 	if end > uint64(w.cfg.Records) {
 		end = uint64(w.cfg.Records)
 	}
+	startKey, endKey := Key(start), Key(end)
 	return func(tx core.Tx) bool {
-		return tx.Phase(core.Action{Table: TUser, Key: Key(start), NoLock: true, Body: func(c core.AccessCtx) bool {
-			c.Scan(TUser, Key(start), Key(end), func(k, v []byte) bool { return true })
+		return tx.Phase(core.Action{Table: TUser, Key: startKey, NoLock: true, Body: func(c core.AccessCtx) bool {
+			c.Scan(TUser, startKey, endKey, func(k, v []byte) bool { return true })
 			return true
 		}})
 	}
