@@ -293,3 +293,33 @@ func BenchmarkC4LatencyShape(b *testing.B) {
 	b.ReportMetric(dora.JoulesPerTxn/bionic.JoulesPerTxn, "energy-gain")
 	b.ReportMetric(bionic.TPS/dora.TPS, "tps-gain")
 }
+
+// BenchmarkFigScaling runs the multi-socket weak-scaling experiment at its
+// 1- and 4-socket corners on the TATP mix and reports the sharded engine's
+// speedup (fig-scaling's headline quantity; `bionicbench -fig-scaling`
+// prints the full 1 -> 16 socket table).
+func BenchmarkFigScaling(b *testing.B) {
+	spec := bench.ScalingSpec{
+		Sockets: []int{1, 4},
+		Workloads: []bench.WorkloadSpec{
+			{Name: "tatp", Make: func() core.Workload { return benchTATP() }},
+		},
+		Engines:            bench.DefaultScalingEngines()[1:], // dora + bionic
+		TerminalsPerSocket: 16,
+		Warmup:             5 * sim.Millisecond,
+		Measure:            15 * sim.Millisecond,
+	}
+	var results []bench.Result
+	for i := 0; i < b.N; i++ {
+		results = spec.Run(bench.Options{})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	// Grid order: (1,dora) (1,bionic) (4,dora) (4,bionic).
+	reportRun(b, results[2].Res) // 4-socket dora row
+	b.ReportMetric(results[2].Res.TPS/results[0].Res.TPS, "dora-speedup-4s")
+	b.ReportMetric(results[3].Res.TPS/results[1].Res.TPS, "bionic-speedup-4s")
+}

@@ -74,6 +74,17 @@ type (
 	PlatformConfig = platform.Config
 	// EnergyReport is a measurement window's joules by hardware domain.
 	EnergyReport = platform.EnergyReport
+	// Topology is how a multi-socket machine's sockets are wired (ring,
+	// full crossbar, or 2D mesh); it sets hops and with them the latency
+	// and energy of every cross-socket message.
+	Topology = platform.Topology
+)
+
+// Interconnect topologies for PlatformConfig.ICTopology.
+const (
+	TopoRing = platform.TopoRing
+	TopoFull = platform.TopoFull
+	TopoMesh = platform.TopoMesh
 )
 
 // Env is the discrete-event simulation environment engines run in.
@@ -109,6 +120,13 @@ func BreakdownLines(bd *stats.Breakdown) []string {
 // HC2 returns the default platform configuration: the Convey HC-2-class
 // machine of the paper's Figure 2.
 func HC2() *PlatformConfig { return platform.HC2() }
+
+// HC2Scaled returns the HC2 machine scaled out to n sockets joined by the
+// default ring interconnect. One socket is exactly HC2(); more sockets add
+// cores, per-socket LLCs, and cross-socket message costs (the DORA engines
+// shard their partitions across sockets and commit cross-shard
+// transactions through an RVP decision round).
+func HC2Scaled(sockets int) *PlatformConfig { return platform.HC2Scaled(sockets) }
 
 // NewConventional builds the shared-everything 2PL baseline engine.
 func NewConventional(env *Env, cfg *PlatformConfig, tables []TableDef) Engine {
@@ -220,6 +238,40 @@ func DORASpec(partitions int) EngineSpec { return bench.DORA(partitions) }
 func BionicSpec(partitions int, off Offloads, window int) EngineSpec {
 	return bench.Bionic(partitions, off, window)
 }
+
+// ConventionalSpecOn is ConventionalSpec on a specific platform config
+// (pass HC2Scaled(n) for a multi-socket machine).
+func ConventionalSpecOn(cfg *PlatformConfig) EngineSpec { return bench.ConventionalOn(cfg) }
+
+// DORASpecOn is DORASpec on a specific platform config.
+func DORASpecOn(cfg *PlatformConfig, partitions int) EngineSpec {
+	return bench.DORAOn(cfg, partitions)
+}
+
+// BionicSpecOn is BionicSpec on a specific platform config.
+func BionicSpecOn(cfg *PlatformConfig, partitions int, off Offloads, window int) EngineSpec {
+	return bench.BionicOn(cfg, partitions, off, window)
+}
+
+// Multi-socket scaling sweeps (the fig-scaling experiment).
+type (
+	// ScalingSweep declares a weak-scaling sweep: the engine family on
+	// every workload at every socket count, with load and partitions
+	// scaling with the machine.
+	ScalingSweep = bench.ScalingSpec
+	// ScalingEngine builds one engine spec per scaled platform config.
+	ScalingEngine = bench.ScalingEngine
+)
+
+// DefaultScalingEngines returns the standard scaling engine axis:
+// conventional, DORA, and the fully-offloaded bionic engine.
+func DefaultScalingEngines() []ScalingEngine { return bench.DefaultScalingEngines() }
+
+// DefaultScalingSockets returns the 1 -> 16 socket axis.
+func DefaultScalingSockets() []int { return bench.DefaultScalingSockets() }
+
+// ScalingTable renders scaling results with per-curve speedup columns.
+func ScalingTable(results []SweepResult) *stats.Table { return bench.ScalingTable(results) }
 
 // SweepTable renders sweep results as an aligned table.
 func SweepTable(results []SweepResult) *stats.Table { return bench.Table(results) }

@@ -9,6 +9,7 @@
 //	bionicbench -ablation       C2: offload lattice on the TATP mix
 //	bionicbench -saturation     C1: probe-engine outstanding-request sweep
 //	bionicbench -sweep          engine x workload (TATP, TPC-C, YCSB) grid
+//	bionicbench -fig-scaling    multi-socket weak scaling, 1 -> 16 sockets
 //
 // Every measurement executes through the internal/bench sweep subsystem:
 // runs fan out across -parallel workers (default GOMAXPROCS), each in its
@@ -16,6 +17,9 @@
 // serial ones. -quick shrinks scales for a fast smoke run; -csv emits CSV
 // instead of aligned tables; -json FILE additionally writes every
 // core.Run-backed measurement of the invocation as structured JSON.
+// -sockets N runs the figure/sweep experiments on an N-socket machine
+// (and caps the -fig-scaling axis at N); the default 1 is the paper's
+// single-socket platform.
 package main
 
 import (
@@ -48,6 +52,7 @@ var (
 	saturation  = flag.Bool("saturation", false, "run the C1 probe saturation sweep")
 	latencies   = flag.Bool("latencies", false, "print the Section 3 latency taxonomy")
 	sweepFlag   = flag.Bool("sweep", false, "run the engine x workload sweep grid")
+	figScaling  = flag.Bool("fig-scaling", false, "run the multi-socket scaling sweep (throughput + joules/txn vs sockets)")
 	all         = flag.Bool("all", false, "run every experiment")
 	quick       = flag.Bool("quick", false, "shrink scales for a fast run")
 	csv         = flag.Bool("csv", false, "emit CSV instead of tables")
@@ -55,6 +60,7 @@ var (
 	parallel    = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	seed        = flag.Uint64("seed", 42, "simulation seed")
 	seeds       = flag.Int("seeds", 1, "seeds per sweep grid point (seed, seed+1, ...)")
+	sockets     = flag.Int("sockets", 1, "CPU sockets: platform size for the figure/sweep experiments, axis cap for -fig-scaling")
 	terminals   = flag.Int("terminals", 64, "closed-loop clients")
 	measureMs   = flag.Int("measure", 50, "measurement window, simulated ms")
 	warmupMs    = flag.Int("warmup", 20, "warmup, simulated ms")
@@ -205,6 +211,10 @@ func main() {
 		timed("sweep", runSweep)
 		ran = true
 	}
+	if *all || *figScaling {
+		timed("fig-scaling", runFigScaling)
+		ran = true
+	}
 	if !ran {
 		pprof.StopCPUProfile()
 		flag.Usage()
@@ -295,12 +305,21 @@ func ycsbSpec() bench.WorkloadSpec {
 	return bench.WorkloadSpec{Name: "ycsb", Make: func() core.Workload { return ycsb.New(cfg) }}
 }
 
-// engineSet is the Figure 4 engine family.
+// plCfg returns the platform configuration every run-backed experiment
+// builds engines on: the HC2 machine, scaled out when -sockets > 1. At the
+// default -sockets=1 it is byte-for-byte the paper's machine.
+func plCfg() *platform.Config { return platform.HC2Scaled(*sockets) }
+
+// partitionCount is one DORA partition per core across the machine.
+func partitionCount() int { return plCfg().TotalCores() }
+
+// engineSet is the Figure 4 engine family, built on the -sockets machine.
 func engineSet() []bench.EngineSpec {
+	cfg := plCfg()
 	return []bench.EngineSpec{
-		bench.Conventional(),
-		bench.DORA(8),
-		bench.Bionic(8, core.AllOffloads(), 8),
+		bench.ConventionalOn(cfg),
+		bench.DORAOn(cfg, partitionCount()),
+		bench.BionicOn(cfg, partitionCount(), core.AllOffloads(), 8),
 	}
 }
 
@@ -349,7 +368,7 @@ func fig3() {
 	tpccCfg := tpccConfig()
 	g := bench.Grid{
 		Group:   "fig3",
-		Engines: []bench.EngineSpec{bench.DORA(8)},
+		Engines: []bench.EngineSpec{bench.DORAOn(plCfg(), partitionCount())},
 		Workloads: []bench.WorkloadSpec{
 			{Name: "tatp-updsubdata", Make: func() core.Workload {
 				return tatp.New(tatp.Config{Subscribers: n}).UpdateSubDataOnly()
@@ -445,7 +464,7 @@ func runAblation() {
 	}
 	engines := make([]bench.EngineSpec, len(lattice))
 	for i, off := range lattice {
-		spec := bench.Bionic(8, off, 8)
+		spec := bench.BionicOn(plCfg(), partitionCount(), off, 8)
 		spec.Name = off.String() // table rows name the subset, not the engine
 		engines[i] = spec
 	}
@@ -494,6 +513,55 @@ func runSweep() {
 		len(results), len(seedList)), bench.Table(results))
 }
 
+// runFigScaling measures the scale-out story: all three engines on all
+// three workloads at 1 -> 16 sockets (weak scaling: terminals and TPC-C
+// warehouses grow with the machine; -sockets > 1 caps the axis). The table
+// reports throughput, speedup over one socket and joules/txn — the
+// committed BENCH_scaling.json baseline is this experiment's -json output.
+func runFigScaling() {
+	warmup, measure := windows()
+	maxSockets := 16
+	if *sockets > 1 {
+		maxSockets = *sockets
+	}
+	var socks []int
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		if n <= maxSockets {
+			socks = append(socks, n)
+		}
+	}
+	if socks[len(socks)-1] != maxSockets {
+		socks = append(socks, maxSockets)
+	}
+	perSocketTerminals := 32
+	if *quick {
+		perSocketTerminals = 8
+	}
+	// One spec per socket count so the TPC-C database can grow with the
+	// machine (warehouses are TPC-C's unit of parallelism; a fixed-size
+	// database would measure contention collapse, not engine scaling).
+	var points []bench.Point
+	for _, n := range socks {
+		tpccCfg := tpccConfig()
+		tpccCfg.Warehouses *= n
+		spec := bench.ScalingSpec{
+			Sockets: []int{n},
+			Workloads: []bench.WorkloadSpec{
+				tatpSpec(),
+				{Name: "tpcc", Make: func() core.Workload { return tpcc.New(tpccCfg) }},
+				ycsbSpec(),
+			},
+			TerminalsPerSocket: perSocketTerminals,
+			Seeds:              []uint64{*seed},
+			Warmup:             warmup, Measure: measure,
+		}
+		points = append(points, spec.Points()...)
+	}
+	results := runPoints(points)
+	emit(fmt.Sprintf("fig-scaling: weak scaling over %v sockets (%s interconnect)",
+		socks, platform.HC2().ICTopology), bench.ScalingTable(results))
+}
+
 // runSaturation sweeps the probe engine's outstanding-request window. The
 // points are independent microbenchmarks, so they fan out through the same
 // pool as the grid sweeps.
@@ -522,6 +590,7 @@ func runLatencies() {
 	t.Row("lock wait", "workload-dependent", "DORA entity locks, deferred actions (5.1)")
 	t.Row("latch wait", "~node visit", "eliminated by PLP partitioning (5.1)")
 	t.Row("queue hop", (2 * sim.Microsecond).String(), "hw queue engine doorbells (5.5)")
+	t.Row("interconnect hop (multi-socket)", cfg.ICHopLat.String(), "socket-local routing + RVP cross-shard commit")
 	t.Row("PCIe crossing", (2 * cfg.PCIeLat).String(), "asynchrony + posted writes (5.2)")
 	t.Row("cache miss (DRAM)", cfg.DRAMMissLat.String(), "moved to pipelined SG-DRAM (5.3)")
 	t.Row("LLC hit", cfg.L3Lat.String(), "-")

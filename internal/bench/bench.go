@@ -3,8 +3,9 @@
 // measurement points and fans them out across a worker pool. Every point
 // runs core.Run in its own sim.Env, so a parallel sweep is bit-identical
 // to the same grid run serially — the pool changes wall-clock time, never
-// results. cmd/bionicbench's figure generators, the ablation, and the
-// saturation sweep all execute through it; results render as tables
+// results. cmd/bionicbench's figure generators, the ablation, the
+// saturation sweep and the multi-socket scaling sweep (ScalingSpec,
+// scaling.go) all execute through it; results render as tables
 // (stats.Table) or structured JSON (emit.go).
 package bench
 
@@ -28,24 +29,37 @@ type EngineSpec struct {
 }
 
 // Conventional returns the shared-everything 2PL baseline spec.
-func Conventional() EngineSpec {
+func Conventional() EngineSpec { return ConventionalOn(platform.HC2()) }
+
+// ConventionalOn returns the 2PL baseline spec on a specific platform
+// configuration (the scaling sweep passes multi-socket configs). cfg is
+// read-only after construction, so one config may back many grid points.
+func ConventionalOn(cfg *platform.Config) EngineSpec {
 	return EngineSpec{Name: "conventional", Make: func(env *sim.Env, wl core.Workload) core.Engine {
-		return core.NewConventional(env, platform.HC2(), wl.Tables())
+		return core.NewConventional(env, cfg, wl.Tables())
 	}}
 }
 
 // DORA returns the software data-oriented engine spec.
-func DORA(partitions int) EngineSpec {
+func DORA(partitions int) EngineSpec { return DORAOn(platform.HC2(), partitions) }
+
+// DORAOn returns the DORA spec on a specific platform configuration.
+func DORAOn(cfg *platform.Config, partitions int) EngineSpec {
 	return EngineSpec{Name: "dora", Make: func(env *sim.Env, wl core.Workload) core.Engine {
-		return core.NewDORA(env, platform.HC2(), wl.Tables(), wl.Scheme(partitions))
+		return core.NewDORA(env, cfg, wl.Tables(), wl.Scheme(partitions))
 	}}
 }
 
 // Bionic returns a bionic engine spec with the given offload subset and
 // in-flight window.
 func Bionic(partitions int, off core.Offloads, window int) EngineSpec {
+	return BionicOn(platform.HC2(), partitions, off, window)
+}
+
+// BionicOn returns the bionic spec on a specific platform configuration.
+func BionicOn(cfg *platform.Config, partitions int, off core.Offloads, window int) EngineSpec {
 	return EngineSpec{Name: "bionic[" + off.String() + "]", Make: func(env *sim.Env, wl core.Workload) core.Engine {
-		return core.NewBionic(env, platform.HC2(), wl.Tables(), wl.Scheme(partitions), off, window)
+		return core.NewBionic(env, cfg, wl.Tables(), wl.Scheme(partitions), off, window)
 	}}
 }
 
@@ -85,6 +99,12 @@ type Point struct {
 	Workload  WorkloadSpec
 	Terminals int
 	Seed      uint64
+
+	// Sockets annotates the platform socket count the engine spec was
+	// built for (scaling sweeps; 0 = unannotated single-socket grids).
+	// It is reporting metadata: the socket count itself lives in the
+	// platform config captured by Engine.Make.
+	Sockets int
 
 	Warmup  sim.Duration
 	Measure sim.Duration

@@ -29,6 +29,11 @@ func Digest(results []Result) string {
 	for _, r := range results {
 		p := r.Point
 		fmt.Fprintf(h, "%s/%s/%s/t%d/s%d;", p.Group, p.Workload.Name, p.Engine.Name, p.Terminals, p.Seed)
+		if p.Sockets > 0 {
+			// Socket-annotated points (scaling sweeps) carry the count;
+			// unannotated points hash exactly as they always did.
+			fmt.Fprintf(h, "x%d;", p.Sockets)
+		}
 		if r.Err != nil {
 			fmt.Fprintf(h, "err=%s;", r.Err)
 			continue

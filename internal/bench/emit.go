@@ -41,6 +41,7 @@ type jsonResult struct {
 	Engine    string `json:"engine"`
 	Terminals int    `json:"terminals"`
 	Seed      uint64 `json:"seed"`
+	Sockets   int    `json:"sockets,omitempty"`
 
 	WarmupMs  float64 `json:"warmup_ms"`
 	MeasureMs float64 `json:"measure_ms"`
@@ -54,6 +55,7 @@ type jsonResult struct {
 	P99us        float64 `json:"p99_us"`
 	CPUJoules    float64 `json:"cpu_joules"`
 	FPGAJoules   float64 `json:"fpga_joules"`
+	ICJoules     float64 `json:"interconnect_joules,omitempty"`
 
 	TxnCounts map[string]int64 `json:"txn_counts,omitempty"`
 	WallMs    float64          `json:"wall_ms"`
@@ -73,6 +75,9 @@ func JSON(results []Result) ([]byte, error) {
 	for _, r := range results {
 		p := r.Point
 		name := fmt.Sprintf("%s/%s/t%d/s%d", p.Workload.Name, p.Engine.Name, p.Terminals, p.Seed)
+		if p.Sockets > 0 {
+			name = fmt.Sprintf("%s/x%d", name, p.Sockets)
+		}
 		if p.Group != "" {
 			name = p.Group + "/" + name
 		}
@@ -83,6 +88,7 @@ func JSON(results []Result) ([]byte, error) {
 			Engine:    p.Engine.Name,
 			Terminals: p.Terminals,
 			Seed:      p.Seed,
+			Sockets:   p.Sockets,
 			WarmupMs:  p.Warmup.Seconds() * 1e3,
 			MeasureMs: p.Measure.Seconds() * 1e3,
 			WallMs:    float64(r.Wall.Nanoseconds()) / 1e6,
@@ -100,6 +106,7 @@ func JSON(results []Result) ([]byte, error) {
 			jr.P99us = res.Latency.Percentile(99).Microseconds()
 			jr.CPUJoules = res.Energy.CPUDynamic + res.Energy.CPUIdle
 			jr.FPGAJoules = res.Energy.FPGA
+			jr.ICJoules = res.Energy.Interconnect
 			jr.TxnCounts = res.TxnCounts
 		}
 		doc.Results = append(doc.Results, jr)

@@ -57,3 +57,46 @@ func TestGoldenSweepDigest(t *testing.T) {
 		t.Errorf("parallel sweep digest diverged from serial:\n got  %s\n want %s", pd, got)
 	}
 }
+
+// goldenScalingDigest pins the multi-socket sweep bit for bit: all three
+// engines on all three workloads at 2 and 4 sockets — the cross-shard
+// commit path, the interconnect timing/energy model, and the conventional
+// engine's lock-table NUMA tax are all under this digest. Re-pin exactly
+// as for goldenDigest, treating any change as a behavior change.
+const goldenScalingDigest = "7ae119e4b063984d1bb67c3afcf3facbc7ee88298ed78e62b4770a7e4ab05ff7"
+
+// goldenScalingSpec is the pinned multi-socket grid.
+func goldenScalingSpec() ScalingSpec {
+	return ScalingSpec{
+		Sockets:            []int{2, 4},
+		Workloads:          []WorkloadSpec{smallTATP(), smallTPCC(), smallYCSB()},
+		TerminalsPerSocket: 4,
+		Seeds:              []uint64{42},
+		Warmup:             1 * sim.Millisecond,
+		Measure:            3 * sim.Millisecond,
+	}
+}
+
+// TestGoldenScalingDigest proves multi-socket runs are as reproducible as
+// single-socket ones: the recorded digest holds, serial and parallel.
+func TestGoldenScalingDigest(t *testing.T) {
+	points := goldenScalingSpec().Points()
+	serial := Run(points, Options{Parallel: 1})
+	for _, r := range serial {
+		if r.Err != nil {
+			t.Fatalf("%s/%s/x%d failed: %v", r.Point.Workload.Name, r.Point.Engine.Name, r.Point.Sockets, r.Err)
+		}
+		if r.Res.Commits == 0 {
+			t.Errorf("%s/%s/x%d committed nothing", r.Point.Workload.Name, r.Point.Engine.Name, r.Point.Sockets)
+		}
+	}
+	got := Digest(serial)
+	t.Logf("serial scaling digest: %s", got)
+	if got != goldenScalingDigest {
+		t.Errorf("scaling digest diverged from golden:\n got  %s\n want %s", got, goldenScalingDigest)
+	}
+	par := Run(points, Options{Parallel: 4})
+	if pd := Digest(par); pd != got {
+		t.Errorf("parallel scaling digest diverged from serial:\n got  %s\n want %s", pd, got)
+	}
+}

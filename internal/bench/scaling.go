@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// ScalingSpec declares the fig-scaling sweep: the three engines on every
+// workload at every socket count, with offered load (terminals) and DORA
+// partition count scaling with the machine. Zero fields get defaults, so
+// only the axes under study need declaring.
+//
+// This is weak scaling — load grows with the machine — so a perfectly
+// scalable engine shows throughput proportional to sockets at flat
+// joules/txn, while a centralized engine flattens as the interconnect and
+// its shared structures saturate.
+type ScalingSpec struct {
+	// Sockets are the socket counts to measure (default 1, 2, 4, 8, 16).
+	Sockets []int
+	// Workloads is the workload axis (required).
+	Workloads []WorkloadSpec
+	// Engines optionally replaces the default engine axis. Each entry is
+	// instantiated per socket count via its On constructor.
+	Engines []ScalingEngine
+
+	// TerminalsPerSocket is the closed-loop clients per socket (default 32).
+	TerminalsPerSocket int
+	// PartitionsPerSocket is the DORA/bionic partitions per socket
+	// (default: the config's cores per socket, one partition per core).
+	PartitionsPerSocket int
+	// Window is the bionic in-flight window (default 8).
+	Window int
+
+	Seeds   []uint64
+	Warmup  sim.Duration
+	Measure sim.Duration
+	Drain   sim.Duration
+}
+
+// ScalingEngine builds one engine spec for a given scaled platform config
+// and total partition count.
+type ScalingEngine struct {
+	Name string
+	On   func(cfg *platform.Config, partitions, window int) EngineSpec
+}
+
+// DefaultScalingEngines returns the standard engine axis: conventional,
+// DORA and the fully-offloaded bionic engine.
+func DefaultScalingEngines() []ScalingEngine {
+	return []ScalingEngine{
+		{Name: "conventional", On: func(cfg *platform.Config, partitions, window int) EngineSpec {
+			return ConventionalOn(cfg)
+		}},
+		{Name: "dora", On: func(cfg *platform.Config, partitions, window int) EngineSpec {
+			return DORAOn(cfg, partitions)
+		}},
+		{Name: "bionic", On: func(cfg *platform.Config, partitions, window int) EngineSpec {
+			return BionicOn(cfg, partitions, core.AllOffloads(), window)
+		}},
+	}
+}
+
+// DefaultScalingSockets is the 1 -> 16 socket axis of the fig-scaling
+// figure.
+func DefaultScalingSockets() []int { return []int{1, 2, 4, 8, 16} }
+
+// Points expands the spec into grid points in deterministic order:
+// workload outermost, then socket count, engine, seed — so each
+// workload's scaling curves print together, engine by engine.
+func (s ScalingSpec) Points() []Point {
+	sockets := s.Sockets
+	if len(sockets) == 0 {
+		sockets = DefaultScalingSockets()
+	}
+	engines := s.Engines
+	if len(engines) == 0 {
+		engines = DefaultScalingEngines()
+	}
+	tps := s.TerminalsPerSocket
+	if tps <= 0 {
+		tps = 32
+	}
+	window := s.Window
+	if window <= 0 {
+		window = 8
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{core.DefaultRunConfig().Seed}
+	}
+	warmup, measure := s.Warmup, s.Measure
+	if warmup <= 0 {
+		warmup = core.DefaultRunConfig().Warmup
+	}
+	if measure <= 0 {
+		measure = core.DefaultRunConfig().Measure
+	}
+
+	var out []Point
+	for _, wl := range s.Workloads {
+		for _, n := range sockets {
+			cfg := platform.HC2Scaled(n)
+			pps := s.PartitionsPerSocket
+			if pps <= 0 {
+				pps = cfg.Cores
+			}
+			partitions := pps * n
+			for _, eng := range engines {
+				spec := eng.On(cfg, partitions, window)
+				spec.Name = eng.Name // rows name the curve ("bionic"), not the offload list
+				for _, seed := range seeds {
+					out = append(out, Point{
+						Index: len(out), Group: "fig-scaling",
+						Engine: spec, Workload: wl,
+						Terminals: tps * n, Seed: seed, Sockets: n,
+						Warmup: warmup, Measure: measure, Drain: s.Drain,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the scaling sweep; see Run.
+func (s ScalingSpec) Run(opt Options) []Result { return Run(s.Points(), opt) }
+
+// ScalingTable renders scaling results as the fig-scaling table: one row
+// per point with a speedup column relative to the same engine and
+// workload at the lowest measured socket count.
+func ScalingTable(results []Result) *stats.Table {
+	t := stats.NewTable("workload", "engine", ">sockets", ">terminals",
+		">tps", ">speedup", ">uJ/txn", ">p50", ">p95", ">commits")
+	// Baseline tps per (workload, engine): the lowest measured socket
+	// count with a usable result, regardless of row order.
+	type curve struct{ wl, eng string }
+	type baseline struct {
+		sockets int
+		tps     float64
+	}
+	base := map[curve]baseline{}
+	for _, r := range results {
+		if r.Err != nil || r.Res.TPS <= 0 {
+			continue
+		}
+		k := curve{r.Point.Workload.Name, r.Point.Engine.Name}
+		if b, ok := base[k]; !ok || r.Point.Sockets < b.sockets {
+			base[k] = baseline{r.Point.Sockets, r.Res.TPS}
+		}
+	}
+	for _, r := range results {
+		p := r.Point
+		if r.Err != nil {
+			t.Row(p.Workload.Name, p.Engine.Name, fmt.Sprintf("%d", p.Sockets),
+				fmt.Sprintf("%d", p.Terminals), "error: "+r.Err.Error(), "", "", "", "", "")
+			continue
+		}
+		speedup := 0.0
+		if b := base[curve{p.Workload.Name, p.Engine.Name}]; b.tps > 0 {
+			speedup = r.Res.TPS / b.tps
+		}
+		t.Row(p.Workload.Name, p.Engine.Name,
+			fmt.Sprintf("%d", p.Sockets),
+			fmt.Sprintf("%d", p.Terminals),
+			fmt.Sprintf("%.0f", r.Res.TPS),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.1f", r.Res.JoulesPerTxn*1e6),
+			r.Res.Latency.Percentile(50).String(),
+			r.Res.Latency.Percentile(95).String(),
+			fmt.Sprintf("%d", r.Res.Commits))
+	}
+	return t
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bionicdb/internal/sim"
+)
+
+// TestScalingPointsExpansion checks the sweep's shape: ordering, load and
+// partition scaling, and the socket annotation on every point.
+func TestScalingPointsExpansion(t *testing.T) {
+	spec := ScalingSpec{
+		Sockets:            []int{1, 2, 4},
+		Workloads:          []WorkloadSpec{smallTATP(), smallYCSB()},
+		TerminalsPerSocket: 8,
+		Seeds:              []uint64{1, 2},
+	}
+	points := spec.Points()
+	if want := 2 * 3 * 3 * 2; len(points) != want { // workloads x sockets x engines x seeds
+		t.Fatalf("expected %d points, got %d", want, len(points))
+	}
+	// Workload outermost, sockets next, then the engine axis.
+	if points[0].Workload.Name != "tatp" || points[len(points)/2].Workload.Name != "ycsb" {
+		t.Errorf("unexpected workload order: %s, %s", points[0].Workload.Name, points[len(points)/2].Workload.Name)
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Errorf("point %d has index %d", i, p.Index)
+		}
+		if p.Group != "fig-scaling" {
+			t.Errorf("point %d group = %q", i, p.Group)
+		}
+		if p.Sockets == 0 {
+			t.Errorf("point %d has no socket annotation", i)
+		}
+		if p.Terminals != 8*p.Sockets {
+			t.Errorf("point %d: %d terminals at %d sockets, want load scaled with the machine", i, p.Terminals, p.Sockets)
+		}
+	}
+	// First socket block is 1, engine order conventional/dora/bionic.
+	if points[0].Sockets != 1 || points[0].Engine.Name != "conventional" {
+		t.Errorf("first point: sockets=%d engine=%s", points[0].Sockets, points[0].Engine.Name)
+	}
+	if points[3*2].Sockets != 2 { // 3 engines x 2 seeds per socket block
+		t.Errorf("second socket block starts with sockets=%d, want 2", points[3*2].Sockets)
+	}
+}
+
+// TestScalingParallelMatchesSerial extends the subsystem's core guarantee
+// to multi-socket points.
+func TestScalingParallelMatchesSerial(t *testing.T) {
+	spec := ScalingSpec{
+		Sockets:            []int{1, 2},
+		Workloads:          []WorkloadSpec{smallYCSB()},
+		TerminalsPerSocket: 4,
+		Seeds:              []uint64{7},
+		Warmup:             1 * sim.Millisecond,
+		Measure:            2 * sim.Millisecond,
+	}
+	points := spec.Points()
+	serial := Run(points, Options{Parallel: 1})
+	par := Run(points, Options{Parallel: 4})
+	if ds, dp := Digest(serial), Digest(par); ds != dp {
+		t.Errorf("scaling sweep digests diverge: serial %s vs parallel %s", ds, dp)
+	}
+}
+
+// TestScalingJSONCarriesSockets checks the emitted document distinguishes
+// socket counts, reports interconnect energy on multi-socket points, and
+// that the scaling table renders a row per point.
+func TestScalingJSONCarriesSockets(t *testing.T) {
+	spec := ScalingSpec{
+		Sockets:            []int{1, 2},
+		Workloads:          []WorkloadSpec{smallTATP()},
+		Engines:            DefaultScalingEngines()[1:2], // dora only
+		TerminalsPerSocket: 4,
+		Seeds:              []uint64{3},
+		Warmup:             1 * sim.Millisecond,
+		Measure:            2 * sim.Millisecond,
+	}
+	results := spec.Run(Options{Parallel: 2})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s/x%d failed: %v", r.Point.Engine.Name, r.Point.Sockets, r.Err)
+		}
+	}
+	b, err := JSON(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Name     string  `json:"name"`
+			Sockets  int     `json:"sockets"`
+			TPS      float64 `json:"tps"`
+			ICJoules float64 `json:"interconnect_joules"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("expected 2 results, got %d", len(doc.Results))
+	}
+	if doc.Results[0].Sockets != 1 || doc.Results[1].Sockets != 2 {
+		t.Errorf("socket counts not carried: %+v", doc.Results)
+	}
+	if !strings.Contains(doc.Results[1].Name, "/x2") {
+		t.Errorf("multi-socket result name %q lacks the socket suffix", doc.Results[1].Name)
+	}
+	if doc.Results[0].ICJoules != 0 {
+		t.Errorf("single-socket run reports interconnect energy %g", doc.Results[0].ICJoules)
+	}
+	if doc.Results[1].ICJoules <= 0 {
+		t.Error("2-socket TATP run reports no interconnect energy (cross-shard traffic must pay)")
+	}
+
+	table := ScalingTable(results).String()
+	for _, want := range []string{"sockets", "speedup", "dora"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("scaling table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestScalingThroughputGrows is the sweep's reason to exist: under weak
+// scaling the sharded engine's throughput must grow with sockets (the
+// simulated machine is deterministic, so this is a stable property, not a
+// flaky performance assertion).
+func TestScalingThroughputGrows(t *testing.T) {
+	spec := ScalingSpec{
+		Sockets:            []int{1, 4},
+		Workloads:          []WorkloadSpec{smallTATP()},
+		Engines:            DefaultScalingEngines()[1:2], // dora
+		TerminalsPerSocket: 8,
+		Seeds:              []uint64{42},
+		Warmup:             1 * sim.Millisecond,
+		Measure:            4 * sim.Millisecond,
+	}
+	results := spec.Run(Options{Parallel: 2})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%v", r.Err)
+		}
+	}
+	one, four := results[0].Res.TPS, results[1].Res.TPS
+	if four < 2*one {
+		t.Errorf("dora TATP throughput at 4 sockets = %.0f tps, want at least 2x the 1-socket %.0f", four, one)
+	}
+}

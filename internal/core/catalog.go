@@ -4,6 +4,14 @@
 // paper's four hardware offloads), together with the workload harness that
 // produces throughput, joules/transaction, latency and Figure 3 component
 // breakdowns from one run.
+//
+// All three engines run unchanged on a multi-socket platform
+// (platform.Config.Sockets > 1). The DORA engines shard their partitions
+// across sockets and commit transactions that span sockets through an
+// RVP-based cross-shard decision round (socket-local transactions pay
+// single-machine costs); the conventional engine stays shared-everything
+// and pays a NUMA round trip to its socket-0 lock table from every other
+// socket.
 package core
 
 // TableDef declares one table: an index-organized primary B+Tree. Secondary

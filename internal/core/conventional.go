@@ -156,6 +156,7 @@ func (e *Conventional) Submit(term *Terminal, logic TxnLogic) bool {
 		task.Flush()
 		// Strict 2PL with early lock release at commit-record append; the
 		// group-commit wait happens without locks held.
+		e.lockTax(task)
 		e.lm.ReleaseAll(task, tx.ID)
 		task.Flush()
 		sig.Await(term.P)
@@ -168,6 +169,7 @@ func (e *Conventional) rollback(task *platform.Task, ctx *convCtx) {
 	e.tm.Abort(task, ctx.tx, func(u txn.UndoRec) {
 		e.applyUndoRaw(task, u)
 	})
+	e.lockTax(task)
 	e.lm.ReleaseAll(task, ctx.tx.ID)
 	task.Flush()
 }
@@ -250,10 +252,34 @@ type convCtx struct {
 	err  error
 }
 
+// lockTableSocket is where the conventional engine's centralized lock
+// table lives. On a multi-socket platform every lock-manager interaction
+// from another socket pays a coherence round trip to this socket — the
+// shared-everything scaling wall the DORA engines avoid by construction.
+const lockTableSocket = 0
+
+// lockTax charges the NUMA cost of reaching the centralized lock table: a
+// request line to the home socket and the granted line back. Free on the
+// home socket and on single-socket platforms.
+func (e *Conventional) lockTax(task *platform.Task) {
+	ic := e.pl.IC
+	if ic == nil {
+		return
+	}
+	s := task.Core().SocketID()
+	if s == lockTableSocket {
+		return
+	}
+	task.Flush()
+	ic.Transfer(task.P, s, lockTableSocket, 64)
+	ic.Transfer(task.P, lockTableSocket, s, 64)
+}
+
 func (c *convCtx) lock(table uint16, key []byte, tableMode, rowMode lockmgr.Mode) bool {
 	if c.err != nil {
 		return false
 	}
+	c.e.lockTax(c.task)
 	if err := c.e.lm.Acquire(c.task, c.tx.ID, c.e.tableLocks[table], tableMode); err != nil {
 		c.err = err
 		return false
@@ -334,6 +360,7 @@ func (c *convCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool)
 	if c.err != nil {
 		return
 	}
+	c.e.lockTax(c.task)
 	if err := c.e.lm.Acquire(c.task, c.tx.ID, c.e.tableLocks[table], lockmgr.IS); err != nil {
 		c.err = err
 		return

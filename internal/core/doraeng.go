@@ -123,6 +123,11 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 	if off.Queue {
 		e.qeng = queueengine.New(pl, queueengine.DefaultConfig())
 	}
+	// Partition placement: round-robin over the flat core list, which
+	// blocks consecutive partitions onto consecutive sockets (cores are
+	// listed socket 0 first). With partitions == total cores, partition i
+	// owns core i and socket i/CoresPerSocket — the shard layout the
+	// cross-shard commit path and the scaling sweep assume.
 	for i := 0; i < scheme.Partitions; i++ {
 		pt := dora.NewPartition(pl, e.reg, i, pl.Cores[i%len(pl.Cores)], dora.DefaultCosts(), window, e.bd)
 		if e.qeng != nil {
@@ -263,12 +268,98 @@ func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
 		}
 		sig := e.tm.Commit(task, tx)
 		task.Flush()
+		e.crossShardDecision(term, task, dtx, true)
 		e.releaseLocks(task, dtx)
 		sig.Await(term.P)
 		e.ctr.Inc("commits", 1)
 		return true
 	}
 }
+
+// crossShardSockets returns the distinct sockets of the transaction's
+// involved partitions when they span more than one — a genuinely
+// cross-shard transaction. Single-socket transactions (including every
+// transaction on a single-socket platform) return nil: they pay nothing.
+func (e *DORAEngine) crossShardSockets(dtx *doraTx) []int {
+	if e.pl.IC == nil {
+		return nil
+	}
+	var sockets []int
+	for _, pidx := range dtx.involved {
+		s := e.parts[pidx].Socket()
+		found := false
+		for _, v := range sockets {
+			if v == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			sockets = append(sockets, s) // involved is sorted, so this order is deterministic
+		}
+	}
+	if len(sockets) < 2 {
+		return nil
+	}
+	return sockets
+}
+
+// crossShardDecision is the decision phase of the RVP-based cross-shard
+// commit protocol. The prepare votes were already collected by the phase
+// RVPs (every action voted before the coordinator reached this point), so
+// what remains of two-phase commit is the decision broadcast: the
+// coordinator sends the outcome to one representative partition per
+// involved socket other than its own and awaits their acknowledgements
+// through one more RVP before any entity lock is released. Transactions
+// confined to one socket skip all of it.
+func (e *DORAEngine) crossShardDecision(term *Terminal, task *platform.Task, dtx *doraTx, commit bool) {
+	sockets := e.crossShardSockets(dtx)
+	if sockets == nil {
+		return
+	}
+	home := term.Core.SocketID()
+	var reps []int // one involved partition per remote socket, in involved order
+	for _, s := range sockets {
+		if s == home {
+			continue
+		}
+		for _, pidx := range dtx.involved {
+			if e.parts[pidx].Socket() == s {
+				reps = append(reps, pidx)
+				break
+			}
+		}
+	}
+	if commit {
+		e.ctr.Inc("crossshard.commits", 1)
+	} else {
+		e.ctr.Inc("crossshard.aborts", 1)
+	}
+	if len(reps) == 0 {
+		return // every involved socket is the coordinator's own
+	}
+	rvp := dora.NewRVP(e.pl.Env, len(reps))
+	for _, pidx := range reps {
+		e.parts[pidx].Enqueue(task, &dora.Action{
+			TxnID:       dtx.tx.ID,
+			Priority:    true,
+			RVP:         rvp,
+			ReplySocket: home,
+			Run: func(wt *platform.Task, pt *dora.Partition) bool {
+				// Apply the decision: mark the outcome in the shard-local
+				// transaction table (a constant bookkeeping charge).
+				wt.Exec(stats.CompDora, decisionApplyInstr)
+				return true
+			},
+		})
+	}
+	task.Flush()
+	rvp.Await(term.P)
+}
+
+// decisionApplyInstr is the shard-side cost of recording a cross-shard
+// commit/abort decision.
+const decisionApplyInstr = 120
 
 // rollback routes undo records back to their owning partitions (reverse
 // order within each), appends the abort record, and releases entity locks.
@@ -284,7 +375,7 @@ func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) 
 		rvp := dora.NewRVP(e.pl.Env, len(groups))
 		for _, pidx := range sortedKeys(groups) {
 			recs := groups[pidx]
-			e.parts[pidx].Enqueue(task, &dora.Action{TxnID: dtx.tx.ID, Priority: true, RVP: rvp, Run: func(wt *platform.Task, pt *dora.Partition) bool {
+			e.parts[pidx].Enqueue(task, &dora.Action{TxnID: dtx.tx.ID, Priority: true, RVP: rvp, ReplySocket: term.Core.SocketID(), Run: func(wt *platform.Task, pt *dora.Partition) bool {
 				for _, u := range recs {
 					e.applyUndoRaw(wt, u)
 				}
@@ -296,6 +387,9 @@ func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) 
 	}
 	e.tm.Abort(task, dtx.tx, func(u txn.UndoRec) {}) // undo already applied above
 	task.Flush()
+	// Cross-shard transactions broadcast the abort decision and collect
+	// acks before locks release, mirroring the commit path.
+	e.crossShardDecision(term, task, dtx, false)
 	e.releaseLocks(task, dtx)
 }
 
@@ -438,9 +532,10 @@ func (t *doraTx) Phase(actions ...Action) bool {
 			lockKey = t.e.scheme.Entity(a.Table, a.Key)
 		}
 		da := &dora.Action{
-			TxnID:   t.tx.ID,
-			LockKey: lockKey,
-			RVP:     rvp,
+			TxnID:       t.tx.ID,
+			LockKey:     lockKey,
+			RVP:         rvp,
+			ReplySocket: t.term.Core.SocketID(),
 			Run: func(wt *platform.Task, pt *dora.Partition) bool {
 				return body(&doraCtx{e: t.e, task: wt, tx: t.tx})
 			},

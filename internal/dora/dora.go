@@ -8,6 +8,13 @@
 // on a deferred list (never blocking the worker) and re-dispatched when the
 // holder releases — DORA's deferred-action mechanism. A waits-for registry
 // turns would-be cross-entity cycles into abort votes at defer time.
+//
+// On a multi-socket platform the partitions shard across sockets: an
+// action enqueued from another socket carries a cache-line-sized message
+// across the interconnect, and its vote pays the return hop to the
+// coordinator's RVP. Same-socket traffic — and every action on a
+// single-socket machine — pays exactly nothing new, which is what lets
+// socket-local transactions keep single-machine costs under scale-out.
 package dora
 
 import (
@@ -49,6 +56,13 @@ type Action struct {
 	// completion nobody awaits.
 	RVP *RVP
 	Run func(t *platform.Task, pt *Partition) bool
+
+	// ReplySocket is the socket of the coordinator awaiting this action's
+	// RVP. On a multi-socket platform the partition pays an interconnect
+	// message to carry its vote home when it differs from the partition's
+	// own socket; engines set it wherever they set RVP. Ignored when RVP
+	// is nil or on single-socket platforms.
+	ReplySocket int
 
 	// Priority actions (lock releases, undo) jump the input queue so they
 	// never convoy behind a backlog of actions waiting for the very locks
@@ -173,7 +187,8 @@ type Partition struct {
 	locks map[string]*entityLock
 	bd    *stats.Breakdown
 
-	qAddr uint64 // queue slots, for coherence-miss charging
+	qAddr  uint64 // queue slots, for coherence-miss charging
+	socket int    // the socket Core lives on, cached for the message path
 
 	inflight   int
 	slotFree   *sim.Signal
@@ -211,11 +226,23 @@ func NewPartition(pl *platform.Platform, reg *Registry, id int, core *platform.C
 		locks:      make(map[string]*entityLock),
 		bd:         bd,
 		qAddr:      pl.AllocHost(64 * 1024),
+		socket:     core.SocketID(),
 		actionName: fmt.Sprintf("part%d.action", id),
 	}
 }
 
+// Socket returns the socket this partition's owning core lives on.
+func (pt *Partition) Socket() int { return pt.socket }
+
+// actionMsgBytes is the modeled size of one cross-socket action message —
+// a cache-line-sized descriptor (routing key, txn id, body pointer) — and
+// of the vote carried back to the coordinator's RVP.
+const actionMsgBytes = 64
+
 // Enqueue routes an action into the partition, charging the sender's task.
+// On a multi-socket platform a sender on another socket additionally pays
+// one interconnect message to carry the action descriptor to the
+// partition's socket; same-socket sends pay nothing new.
 func (pt *Partition) Enqueue(t *platform.Task, a *Action) {
 	if pt.HWQueue != nil {
 		// Doorbell write + hardware enqueue: minimal CPU, unit does the rest.
@@ -227,6 +254,11 @@ func (pt *Partition) Enqueue(t *platform.Task, a *Action) {
 		// Producer-side coherence traffic on the queue slot.
 		t.Access(stats.CompDora, pt.qAddr+uint64(pt.in.Puts()%1024)*64, 64)
 		t.Flush()
+	}
+	if ic := pt.pl.IC; ic != nil {
+		if from := t.Core().SocketID(); from != pt.socket {
+			ic.Transfer(t.P, from, pt.socket, actionMsgBytes)
+		}
 	}
 	if a.Priority {
 		pt.in.PutFront(a)
@@ -366,6 +398,10 @@ func (pt *Partition) finish(task *platform.Task, a *Action, vote bool) {
 	task.Flush()
 	pt.done++
 	if a.RVP != nil {
+		// Carry the vote back to a coordinator on another socket.
+		if ic := pt.pl.IC; ic != nil && a.ReplySocket != pt.socket {
+			ic.Transfer(task.P, pt.socket, a.ReplySocket, actionMsgBytes)
+		}
 		a.RVP.Arrive(vote)
 	}
 }

@@ -86,11 +86,11 @@ func New(pl *platform.Platform, store *wal.Store, cfg Config) *Engine {
 		pl:      pl,
 		store:   store,
 		unit:    pl.NewHWUnit("log-insert", 4),
-		staging: make([][]byte, pl.Cfg.Cores),
-		counts:  make([]int, pl.Cfg.Cores),
+		staging: make([][]byte, len(pl.Cores)),
+		counts:  make([]int, len(pl.Cores)),
 		kick:    sim.NewQueue[struct{}](pl.Env, "logengine-kick", 1),
 	}
-	for i := 0; i < pl.Cfg.Cores; i++ {
+	for i := 0; i < len(pl.Cores); i++ {
 		e.stageAddr = append(e.stageAddr, pl.AllocHost(64<<10))
 	}
 	pl.Env.Spawn("log-sync", func(p *sim.Proc) { e.syncLoop(p) })

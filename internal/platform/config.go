@@ -3,7 +3,11 @@
 // on the FPGA side, a SAS disk array behind the FPGA and an SSD behind the
 // CPU. It provides the cost and energy model every engine charges against:
 // CPU cores with a set-associative cache hierarchy, latency/bandwidth
-// devices, FPGA hardware units, and joules accounting.
+// devices, FPGA hardware units, and joules accounting. Config.Sockets
+// scales the machine out to N identical sockets joined by a modeled
+// interconnect (ring, mesh or crossbar; latency and energy per hop) — the
+// substrate for the scale-out experiments. One socket reproduces the
+// paper's machine exactly: no interconnect exists and nothing pays for it.
 package platform
 
 import "bionicdb/internal/sim"
@@ -16,8 +20,13 @@ import "bionicdb/internal/sim"
 type Config struct {
 	// --- CPU socket ---
 
-	// Cores is the number of general-purpose cores.
+	// Cores is the number of general-purpose cores per socket.
 	Cores int
+	// Sockets is the number of CPU sockets (0 or 1 models the paper's
+	// single-socket machine exactly; >1 joins identical sockets by the
+	// interconnect below). Each socket has its own Cores cores and its own
+	// LLC; L1/L2/L3 parameters apply per socket.
+	Sockets int
 	// CPUFreqGHz is the core clock. 2.5 GHz is a typical 2012 Xeon.
 	CPUFreqGHz float64
 	// CPI is the average cycles retired per instruction for cache-resident
@@ -62,6 +71,22 @@ type Config struct {
 	SSDBWGBps float64
 	SSDLat    sim.Duration
 	SSDChans  int
+
+	// --- Socket interconnect (multi-socket configurations only) ---
+
+	// ICTopology is how sockets are wired: a full crossbar, a
+	// bidirectional ring, or a 2D mesh. Hop counts (and so latency and
+	// energy per message) follow the topology; one socket never pays.
+	ICTopology Topology
+	// ICLinkGBps is the egress bandwidth of one socket's interconnect
+	// port. 12.8 GB/s is one QPI link at 6.4 GT/s, the 2012-era part.
+	ICLinkGBps float64
+	// ICHopLat is the per-hop message latency. ~40 ns matches measured
+	// QPI socket-to-socket adder over local DRAM access.
+	ICHopLat sim.Duration
+	// ICPJPerByte is the transfer energy per byte per hop (serdes +
+	// routing), same order as PCIe serdes cost.
+	ICPJPerByte float64
 
 	// --- FPGA ---
 
@@ -109,6 +134,11 @@ func HC2() *Config {
 		DiskBWGBps: 1.5, DiskLat: 5 * sim.Millisecond, DiskChans: 2,
 		SSDBWGBps: 0.5, SSDLat: 20 * sim.Microsecond, SSDChans: 1,
 
+		ICTopology:  TopoRing,
+		ICLinkGBps:  12.8,
+		ICHopLat:    40 * sim.Nanosecond,
+		ICPJPerByte: 60,
+
 		FPGAFreqMHz: 150,
 
 		CoreActiveW:     10,
@@ -123,6 +153,27 @@ func HC2() *Config {
 		PageSize: 8 << 10,
 	}
 }
+
+// HC2Scaled returns the HC2 configuration scaled out to n identical
+// sockets joined by the default ring interconnect — the platform the
+// fig-scaling sweep measures.
+func HC2Scaled(sockets int) *Config {
+	cfg := HC2()
+	cfg.Sockets = sockets
+	return cfg
+}
+
+// NumSockets returns the effective socket count (a zero config field means
+// one socket).
+func (c *Config) NumSockets() int {
+	if c.Sockets < 1 {
+		return 1
+	}
+	return c.Sockets
+}
+
+// TotalCores returns the core count across all sockets.
+func (c *Config) TotalCores() int { return c.Cores * c.NumSockets() }
 
 // CycleTime returns the CPU core cycle time.
 func (c *Config) CycleTime() sim.Duration {

@@ -16,6 +16,7 @@ type Snapshot struct {
 	UnitSlotCount int          // total FPGA pipeline slots configured
 	DRAMBytes     int64        // host DRAM + SG-DRAM + cached-path fills
 	PCIeBytes     int64
+	ICHopBytes    int64 // interconnect bytes x hops (zero on one socket)
 	DiskBusy      sim.Duration
 	SSDBusy       sim.Duration
 }
@@ -32,6 +33,9 @@ func (pl *Platform) Snapshot() Snapshot {
 	}
 	s.DRAMBytes = pl.HostDRAM.bytes + pl.SGDRAM.bytes + pl.dramLineBytes
 	s.PCIeBytes = pl.PCIe.bytes
+	if pl.IC != nil {
+		s.ICHopBytes = pl.IC.hopBytes
+	}
 	s.DiskBusy = pl.Disk.BusyTime()
 	s.SSDBusy = pl.SSD.BusyTime()
 	return s
@@ -41,24 +45,25 @@ func (pl *Platform) Snapshot() Snapshot {
 // hardware domain. The paper's metric of merit is joules/operation; divide
 // Total by the operation count of the window.
 type EnergyReport struct {
-	Window     sim.Duration
-	CPUDynamic float64 // (active-idle) watts over busy core time
-	CPUIdle    float64 // idle watts over all core-time in the window
-	FPGA       float64 // unit idle floor + dynamic over busy slot time
-	DRAM       float64 // per-byte access energy, all DRAM kinds
-	PCIe       float64 // per-byte link energy
-	Storage    float64 // disk + SSD active power over busy time
+	Window       sim.Duration
+	CPUDynamic   float64 // (active-idle) watts over busy core time
+	CPUIdle      float64 // idle watts over all core-time in the window
+	FPGA         float64 // unit idle floor + dynamic over busy slot time
+	DRAM         float64 // per-byte access energy, all DRAM kinds
+	PCIe         float64 // per-byte link energy
+	Interconnect float64 // socket fabric, per byte per hop (multi-socket)
+	Storage      float64 // disk + SSD active power over busy time
 }
 
 // Total returns the sum over all domains, in joules.
 func (r EnergyReport) Total() float64 {
-	return r.CPUDynamic + r.CPUIdle + r.FPGA + r.DRAM + r.PCIe + r.Storage
+	return r.CPUDynamic + r.CPUIdle + r.FPGA + r.DRAM + r.PCIe + r.Interconnect + r.Storage
 }
 
 // String summarizes the report in millijoules.
 func (r EnergyReport) String() string {
-	return fmt.Sprintf("total=%.3fmJ cpuDyn=%.3f cpuIdle=%.3f fpga=%.3f dram=%.3f pcie=%.3f storage=%.3f",
-		r.Total()*1e3, r.CPUDynamic*1e3, r.CPUIdle*1e3, r.FPGA*1e3, r.DRAM*1e3, r.PCIe*1e3, r.Storage*1e3)
+	return fmt.Sprintf("total=%.3fmJ cpuDyn=%.3f cpuIdle=%.3f fpga=%.3f dram=%.3f pcie=%.3f ic=%.3f storage=%.3f",
+		r.Total()*1e3, r.CPUDynamic*1e3, r.CPUIdle*1e3, r.FPGA*1e3, r.DRAM*1e3, r.PCIe*1e3, r.Interconnect*1e3, r.Storage*1e3)
 }
 
 // Energy computes the joules spent between two snapshots of this platform.
@@ -75,7 +80,7 @@ func (pl *Platform) Energy(from, to Snapshot) EnergyReport {
 	r := EnergyReport{Window: window}
 	coreBusy := (to.CoreBusy - from.CoreBusy).Seconds()
 	r.CPUDynamic = (cfg.CoreActiveW - cfg.CoreIdleW) * coreBusy
-	r.CPUIdle = cfg.CoreIdleW * float64(cfg.Cores) * secs
+	r.CPUIdle = cfg.CoreIdleW * float64(len(pl.Cores)) * secs
 
 	nUnits := len(pl.units)
 	unitBusy := (to.UnitBusy - from.UnitBusy).Seconds()
@@ -90,6 +95,7 @@ func (pl *Platform) Energy(from, to Snapshot) EnergyReport {
 
 	r.DRAM = float64(to.DRAMBytes-from.DRAMBytes) * cfg.DRAMPJPerByte * 1e-12
 	r.PCIe = float64(to.PCIeBytes-from.PCIeBytes) * cfg.PCIePJPerByte * 1e-12
+	r.Interconnect = float64(to.ICHopBytes-from.ICHopBytes) * cfg.ICPJPerByte * 1e-12
 	r.Storage = cfg.DiskActiveW*(to.DiskBusy-from.DiskBusy).Seconds() +
 		cfg.SSDActiveW*(to.SSDBusy-from.SSDBusy).Seconds()
 	return r

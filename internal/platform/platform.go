@@ -7,18 +7,26 @@ import (
 	"bionicdb/internal/stats"
 )
 
-// Platform is one instantiated machine: CPU cores with private L1/L2 and a
-// shared LLC, the five Figure 2 devices, and any number of FPGA hardware
-// units. All simulated state lives in one Env; a Platform is single-run and
-// never shared across environments.
+// Platform is one instantiated machine: one or more CPU sockets — each a
+// set of cores with private L1/L2 and a socket-shared LLC — joined by a
+// modeled interconnect when there is more than one, plus the five Figure 2
+// devices and any number of FPGA hardware units. All simulated state lives
+// in one Env; a Platform is single-run and never shared across
+// environments.
 type Platform struct {
 	Env *sim.Env
 	Cfg *Config
 
-	Cores []*Core
-	l3    *cacheLevel
+	// Cores is the flat list across all sockets: socket 0's cores first,
+	// then socket 1's, and so on. Core i lives on socket i / Cfg.Cores.
+	Cores   []*Core
+	Sockets []*Socket
+	// IC is the socket interconnect; nil on a single-socket platform, so
+	// the one-socket machine pays exactly the paper's costs and nothing
+	// more.
+	IC *Interconnect
 
-	// The Figure 2 components.
+	// The Figure 2 components (the FPGA complex attaches to socket 0).
 	HostDRAM *Device // CPU-attached DDR3 (uncached/DMA path)
 	SGDRAM   *Device // FPGA-attached scatter-gather DDR3
 	PCIe     *Device // host<->FPGA link (latency is one-way)
@@ -34,6 +42,13 @@ type Platform struct {
 	fpgaBrk uint64
 }
 
+// Socket is one CPU package: a block of cores sharing one LLC.
+type Socket struct {
+	ID    int
+	Cores []*Core
+	l3    *cacheLevel
+}
+
 // Address-space bases; the top bit distinguishes FPGA-side memory.
 const (
 	hostBase = uint64(0x0000_1000_0000_0000)
@@ -45,7 +60,6 @@ func New(env *sim.Env, cfg *Config) *Platform {
 	pl := &Platform{
 		Env: env,
 		Cfg: cfg,
-		l3:  newCacheLevel(cfg.L3Size, cfg.L3Assoc, cfg.LineSize),
 
 		HostDRAM: NewDevice(env, "host-dram", cfg.HostDRAMBWGBps, cfg.HostDRAMLat, cfg.HostDRAMChans),
 		SGDRAM:   NewDevice(env, "sg-dram", cfg.SGDRAMBWGBps, cfg.SGDRAMLat, cfg.SGDRAMChans),
@@ -56,17 +70,32 @@ func New(env *sim.Env, cfg *Config) *Platform {
 		hostBrk: hostBase,
 		fpgaBrk: fpgaBase,
 	}
-	for i := 0; i < cfg.Cores; i++ {
-		pl.Cores = append(pl.Cores, &Core{
-			ID:   i,
-			plat: pl,
-			res:  sim.NewResource(env, fmt.Sprintf("core%d", i), 1),
-			l1:   newCacheLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
-			l2:   newCacheLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
-		})
+	nSock := cfg.NumSockets()
+	for s := 0; s < nSock; s++ {
+		sock := &Socket{ID: s, l3: newCacheLevel(cfg.L3Size, cfg.L3Assoc, cfg.LineSize)}
+		for c := 0; c < cfg.Cores; c++ {
+			i := len(pl.Cores)
+			core := &Core{
+				ID:   i,
+				plat: pl,
+				sock: sock,
+				res:  sim.NewResource(env, fmt.Sprintf("core%d", i), 1),
+				l1:   newCacheLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+				l2:   newCacheLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+			}
+			sock.Cores = append(sock.Cores, core)
+			pl.Cores = append(pl.Cores, core)
+		}
+		pl.Sockets = append(pl.Sockets, sock)
+	}
+	if nSock > 1 {
+		pl.IC = newInterconnect(env, cfg, nSock)
 	}
 	return pl
 }
+
+// NumSockets returns the socket count of the built machine.
+func (pl *Platform) NumSockets() int { return len(pl.Sockets) }
 
 // newHoldingDevice builds a Device whose latency occupies the channel
 // (seek-style devices), by folding the latency into per-transfer hold time.
@@ -97,7 +126,8 @@ func IsFPGAAddr(addr uint64) bool { return addr >= fpgaBase }
 // Instructions returns total instructions retired across all cores.
 func (pl *Platform) Instructions() int64 { return pl.instructions }
 
-// CacheStats aggregates hit/miss counts across the hierarchy.
+// CacheStats aggregates hit/miss counts across the hierarchy (LLC counts
+// sum over all sockets' LLCs).
 func (pl *Platform) CacheStats() CacheStats {
 	var s CacheStats
 	for _, c := range pl.Cores {
@@ -106,21 +136,27 @@ func (pl *Platform) CacheStats() CacheStats {
 		s.L2Hits += c.l2.hits
 		s.L2Misses += c.l2.misses
 	}
-	s.L3Hits = pl.l3.hits
-	s.L3Misses = pl.l3.misses
+	for _, sock := range pl.Sockets {
+		s.L3Hits += sock.l3.hits
+		s.L3Misses += sock.l3.misses
+	}
 	return s
 }
 
 // Core is one general-purpose CPU core: a capacity-1 resource plus private
-// L1/L2 caches. Engine code does not use Core directly; it charges through
-// a Task bound to a core.
+// L1/L2 caches, belonging to one socket. Engine code does not use Core
+// directly; it charges through a Task bound to a core.
 type Core struct {
 	ID   int
 	plat *Platform
+	sock *Socket
 	res  *sim.Resource
 	l1   *cacheLevel
 	l2   *cacheLevel
 }
+
+// SocketID returns the socket this core belongs to.
+func (c *Core) SocketID() int { return c.sock.ID }
 
 // BusyTime returns how long the core has been executing charged work.
 func (c *Core) BusyTime() sim.Duration { return c.res.BusyTime() }
@@ -145,7 +181,7 @@ func (c *Core) access(addr uint64, size int) sim.Duration {
 			d += cfg.L1Lat
 		case c.l2.access(line):
 			d += cfg.L2Lat
-		case c.plat.l3.access(line):
+		case c.sock.l3.access(line):
 			d += cfg.L3Lat
 		default:
 			d += cfg.DRAMMissLat

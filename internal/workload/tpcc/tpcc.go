@@ -494,12 +494,22 @@ type singleTxn struct {
 	gen    func(r *sim.Rand) core.TxnLogic
 }
 
-func (s *singleTxn) Name() string                               { return s.name }
-func (s *singleTxn) Tables() []core.TableDef                    { return s.w.Tables() }
+// Name implements core.Workload (the variant's own name, e.g. for Figure 3).
+func (s *singleTxn) Name() string { return s.name }
+
+// Tables implements core.Workload by delegating to the full mix.
+func (s *singleTxn) Tables() []core.TableDef { return s.w.Tables() }
+
+// Scheme implements core.Workload by delegating to the full mix.
 func (s *singleTxn) Scheme(partitions int) core.PartitionScheme { return s.w.Scheme(partitions) }
+
+// Populate implements core.Workload: the database is the full benchmark's,
+// only the transaction mix narrows.
 func (s *singleTxn) Populate(load func(t uint16, k, v []byte), r *sim.Rand) {
 	s.w.Populate(load, r)
 }
+
+// NextTxn implements core.Workload: always the one wrapped transaction.
 func (s *singleTxn) NextTxn(r *sim.Rand) (string, core.TxnLogic) {
 	return s.txName, s.gen(r)
 }
