@@ -128,6 +128,13 @@ func HC2() *PlatformConfig { return platform.HC2() }
 // transactions through an RVP decision round).
 func HC2Scaled(sockets int) *PlatformConfig { return platform.HC2Scaled(sockets) }
 
+// HC2ScaledSharded is HC2Scaled with per-socket log devices: every socket
+// gets its own log stream and SSD (the sharded durability subsystem), so
+// the DORA engines keep one WAL shard per socket, commit cross-shard
+// transactions at the vector durable point, and recover by replaying all
+// shards in parallel. On one socket it is exactly HC2().
+func HC2ScaledSharded(sockets int) *PlatformConfig { return platform.HC2ScaledSharded(sockets) }
+
 // NewConventional builds the shared-everything 2PL baseline engine.
 func NewConventional(env *Env, cfg *PlatformConfig, tables []TableDef) Engine {
 	return core.NewConventional(env, cfg, tables)
@@ -262,6 +269,20 @@ type (
 	// ScalingEngine builds one engine spec per scaled platform config.
 	ScalingEngine = bench.ScalingEngine
 )
+
+// Crash-recovery sweeps (the fig-recovery experiment).
+type (
+	// RecoverySweep declares the crash/recovery experiment: run a workload
+	// on a (sharded-log) machine, crash it cold at the end of the window,
+	// and measure the time and joules to replay the log shards — serially
+	// and one process per shard — at each socket count.
+	RecoverySweep = bench.RecoverySpec
+	// RecoveryResult is one crash/recovery measurement.
+	RecoveryResult = bench.RecoveryResult
+)
+
+// RecoveryTable renders recovery results as the fig-recovery table.
+func RecoveryTable(results []RecoveryResult) *stats.Table { return bench.RecoveryTable(results) }
 
 // DefaultScalingEngines returns the standard scaling engine axis:
 // conventional, DORA, and the fully-offloaded bionic engine.

@@ -53,6 +53,9 @@ var (
 	latencies   = flag.Bool("latencies", false, "print the Section 3 latency taxonomy")
 	sweepFlag   = flag.Bool("sweep", false, "run the engine x workload sweep grid")
 	figScaling  = flag.Bool("fig-scaling", false, "run the multi-socket scaling sweep (throughput + joules/txn vs sockets)")
+	figRecovery = flag.Bool("fig-recovery", false, "run the crash-recovery sweep (replay time + joules vs sockets)")
+	shardedLog  = flag.Bool("sharded-log", false, "per-socket log shards: give every socket its own log stream and SSD (multi-socket only); -fig-scaling additionally runs the sharded axis next to the central baseline")
+	recJSON     = flag.String("recovery-json", "", "write -fig-recovery results as JSON to this file")
 	all         = flag.Bool("all", false, "run every experiment")
 	quick       = flag.Bool("quick", false, "shrink scales for a fast run")
 	csv         = flag.Bool("csv", false, "emit CSV instead of tables")
@@ -215,6 +218,10 @@ func main() {
 		timed("fig-scaling", runFigScaling)
 		ran = true
 	}
+	if *all || *figRecovery {
+		timed("fig-recovery", runFigRecovery)
+		ran = true
+	}
 	if !ran {
 		pprof.StopCPUProfile()
 		flag.Usage()
@@ -306,9 +313,14 @@ func ycsbSpec() bench.WorkloadSpec {
 }
 
 // plCfg returns the platform configuration every run-backed experiment
-// builds engines on: the HC2 machine, scaled out when -sockets > 1. At the
-// default -sockets=1 it is byte-for-byte the paper's machine.
-func plCfg() *platform.Config { return platform.HC2Scaled(*sockets) }
+// builds engines on: the HC2 machine, scaled out when -sockets > 1 and log-
+// sharded when -sharded-log. At the default -sockets=1 it is byte-for-byte
+// the paper's machine (the sharded-log flag is inert on one socket).
+func plCfg() *platform.Config {
+	cfg := platform.HC2Scaled(*sockets)
+	cfg.LogDevPerSocket = *shardedLog
+	return cfg
+}
 
 // partitionCount is one DORA partition per core across the machine.
 func partitionCount() int { return plCfg().TotalCores() }
@@ -513,13 +525,9 @@ func runSweep() {
 		len(results), len(seedList)), bench.Table(results))
 }
 
-// runFigScaling measures the scale-out story: all three engines on all
-// three workloads at 1 -> 16 sockets (weak scaling: terminals and TPC-C
-// warehouses grow with the machine; -sockets > 1 caps the axis). The table
-// reports throughput, speedup over one socket and joules/txn — the
-// committed BENCH_scaling.json baseline is this experiment's -json output.
-func runFigScaling() {
-	warmup, measure := windows()
+// socketAxis returns the socket counts the scale-out experiments sweep:
+// 1 -> 16 by powers of two, capped (and extended) by -sockets when given.
+func socketAxis() []int {
 	maxSockets := 16
 	if *sockets > 1 {
 		maxSockets = *sockets
@@ -533,13 +541,31 @@ func runFigScaling() {
 	if socks[len(socks)-1] != maxSockets {
 		socks = append(socks, maxSockets)
 	}
-	perSocketTerminals := 32
+	return socks
+}
+
+// perSocketTerminals is the scale-out experiments' offered load per socket.
+func perSocketTerminals() int {
 	if *quick {
-		perSocketTerminals = 8
+		return 8
 	}
+	return 32
+}
+
+// runFigScaling measures the scale-out story: all three engines on all
+// three workloads at 1 -> 16 sockets (weak scaling: terminals and TPC-C
+// warehouses grow with the machine; -sockets > 1 caps the axis). The table
+// reports throughput, speedup over one socket and joules/txn — the
+// committed BENCH_scaling.json baseline is this experiment's -json output.
+func runFigScaling() {
+	warmup, measure := windows()
+	socks := socketAxis()
 	// One spec per socket count so the TPC-C database can grow with the
 	// machine (warehouses are TPC-C's unit of parallelism; a fixed-size
 	// database would measure contention collapse, not engine scaling).
+	// With -sharded-log the sharded axis runs next to the central baseline
+	// (only where it is structurally different: 2+ sockets), so the table
+	// shows exactly what sharding the log lifts.
 	var points []bench.Point
 	for _, n := range socks {
 		tpccCfg := tpccConfig()
@@ -551,15 +577,55 @@ func runFigScaling() {
 				{Name: "tpcc", Make: func() core.Workload { return tpcc.New(tpccCfg) }},
 				ycsbSpec(),
 			},
-			TerminalsPerSocket: perSocketTerminals,
+			TerminalsPerSocket: perSocketTerminals(),
 			Seeds:              []uint64{*seed},
 			Warmup:             warmup, Measure: measure,
 		}
 		points = append(points, spec.Points()...)
+		if *shardedLog && n > 1 {
+			spec.ShardedLog = true
+			points = append(points, spec.Points()...)
+		}
 	}
 	results := runPoints(points)
 	emit(fmt.Sprintf("fig-scaling: weak scaling over %v sockets (%s interconnect)",
 		socks, platform.HC2().ICTopology), bench.ScalingTable(results))
+}
+
+// runFigRecovery measures the durability subsystem's read side: crash a
+// sharded-log machine at the end of its measurement window and replay the
+// per-socket log shards — serially and one process per shard — timing the
+// boot and its joules at each socket count. TPC-C is the workload: it is
+// the log-heavy benchmark whose weak scaling the sharded log un-walls.
+func runFigRecovery() {
+	warmup, measure := windows()
+	socks := socketAxis()
+	spec := bench.RecoverySpec{
+		Sockets: socks,
+		Workload: func(n int) bench.WorkloadSpec {
+			tpccCfg := tpccConfig()
+			tpccCfg.Warehouses *= n
+			return bench.WorkloadSpec{Name: "tpcc", Make: func() core.Workload { return tpcc.New(tpccCfg) }}
+		},
+		ShardedLog:         true,
+		TerminalsPerSocket: perSocketTerminals(),
+		Seed:               *seed,
+		Warmup:             warmup, Measure: measure,
+	}
+	results := spec.RunRecovery(bench.Options{Parallel: *parallel})
+	for _, r := range results {
+		if r.Err != nil {
+			fatal(r.Err)
+		}
+	}
+	emit(fmt.Sprintf("fig-recovery: crash at measure end, parallel shard replay over %v sockets", socks),
+		bench.RecoveryTable(results))
+	if *recJSON != "" {
+		if err := bench.WriteRecoveryJSONFile(*recJSON, results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d recovery results to %s\n", len(results), *recJSON)
+	}
 }
 
 // runSaturation sweeps the probe engine's outstanding-request window. The

@@ -66,7 +66,7 @@ func main() {
 
 	env.Spawn("recovery", func(p *sim.Proc) {
 		t0 := p.Now()
-		trees, err := core.Recover(p, tables, meta, eng.DiskManager(), eng.LogStore().Data())
+		trees, err := core.Recover(p, tables, meta, eng.DiskManager(), eng.LogStore().Bytes())
 		if err != nil {
 			panic(err)
 		}

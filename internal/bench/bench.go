@@ -106,6 +106,12 @@ type Point struct {
 	// platform config captured by Engine.Make.
 	Sockets int
 
+	// ShardedLog annotates that the engine spec was built on a machine
+	// with per-socket log devices (the sharded durability subsystem).
+	// Reporting metadata like Sockets: the knob itself lives in the
+	// platform config captured by Engine.Make.
+	ShardedLog bool
+
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Drain   sim.Duration

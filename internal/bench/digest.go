@@ -34,6 +34,12 @@ func Digest(results []Result) string {
 			// unannotated points hash exactly as they always did.
 			fmt.Fprintf(h, "x%d;", p.Sockets)
 		}
+		if p.ShardedLog {
+			// Sharded-log points carry the layout so a sharded curve can
+			// never collide with its central-log twin; central points
+			// hash exactly as they always did.
+			fmt.Fprintf(h, "slog;")
+		}
 		if r.Err != nil {
 			fmt.Fprintf(h, "err=%s;", r.Err)
 			continue

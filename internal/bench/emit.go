@@ -35,13 +35,14 @@ func Table(results []Result) *stats.Table {
 
 // jsonResult is the flat per-point record the JSON document carries.
 type jsonResult struct {
-	Name      string `json:"name"`
-	Group     string `json:"experiment,omitempty"`
-	Workload  string `json:"workload"`
-	Engine    string `json:"engine"`
-	Terminals int    `json:"terminals"`
-	Seed      uint64 `json:"seed"`
-	Sockets   int    `json:"sockets,omitempty"`
+	Name       string `json:"name"`
+	Group      string `json:"experiment,omitempty"`
+	Workload   string `json:"workload"`
+	Engine     string `json:"engine"`
+	Terminals  int    `json:"terminals"`
+	Seed       uint64 `json:"seed"`
+	Sockets    int    `json:"sockets,omitempty"`
+	ShardedLog bool   `json:"sharded_log,omitempty"`
 
 	WarmupMs  float64 `json:"warmup_ms"`
 	MeasureMs float64 `json:"measure_ms"`
@@ -58,8 +59,17 @@ type jsonResult struct {
 	ICJoules     float64 `json:"interconnect_joules,omitempty"`
 
 	TxnCounts map[string]int64 `json:"txn_counts,omitempty"`
+	LogShards []logShardJSON   `json:"log_shards,omitempty"`
 	WallMs    float64          `json:"wall_ms"`
 	Error     string           `json:"error,omitempty"`
+}
+
+// logShardJSON is one log shard's window counters in the JSON document.
+type logShardJSON struct {
+	Shard  int   `json:"shard"`
+	Bytes  int64 `json:"bytes"`
+	Syncs  int64 `json:"syncs"`
+	Epochs int64 `json:"epochs,omitempty"`
 }
 
 // jsonDoc is the emitted document shape.
@@ -78,20 +88,24 @@ func JSON(results []Result) ([]byte, error) {
 		if p.Sockets > 0 {
 			name = fmt.Sprintf("%s/x%d", name, p.Sockets)
 		}
+		if p.ShardedLog {
+			name += "/slog"
+		}
 		if p.Group != "" {
 			name = p.Group + "/" + name
 		}
 		jr := jsonResult{
-			Name:      name,
-			Group:     p.Group,
-			Workload:  p.Workload.Name,
-			Engine:    p.Engine.Name,
-			Terminals: p.Terminals,
-			Seed:      p.Seed,
-			Sockets:   p.Sockets,
-			WarmupMs:  p.Warmup.Seconds() * 1e3,
-			MeasureMs: p.Measure.Seconds() * 1e3,
-			WallMs:    float64(r.Wall.Nanoseconds()) / 1e6,
+			Name:       name,
+			Group:      p.Group,
+			Workload:   p.Workload.Name,
+			Engine:     p.Engine.Name,
+			Terminals:  p.Terminals,
+			Seed:       p.Seed,
+			Sockets:    p.Sockets,
+			ShardedLog: p.ShardedLog,
+			WarmupMs:   p.Warmup.Seconds() * 1e3,
+			MeasureMs:  p.Measure.Seconds() * 1e3,
+			WallMs:     float64(r.Wall.Nanoseconds()) / 1e6,
 		}
 		if r.Err != nil {
 			jr.Error = r.Err.Error()
@@ -108,6 +122,11 @@ func JSON(results []Result) ([]byte, error) {
 			jr.FPGAJoules = res.Energy.FPGA
 			jr.ICJoules = res.Energy.Interconnect
 			jr.TxnCounts = res.TxnCounts
+			for _, sh := range res.LogShards {
+				jr.LogShards = append(jr.LogShards, logShardJSON{
+					Shard: sh.Shard, Bytes: sh.Bytes, Syncs: sh.Syncs, Epochs: sh.Epochs,
+				})
+			}
 		}
 		doc.Results = append(doc.Results, jr)
 	}

@@ -34,6 +34,11 @@ type ScalingSpec struct {
 	PartitionsPerSocket int
 	// Window is the bionic in-flight window (default 8).
 	Window int
+	// ShardedLog runs every point on a machine with per-socket log devices
+	// (the sharded durability subsystem). Single-socket points are
+	// structurally unaffected — the flag only bites at 2+ sockets — so the
+	// 1-socket row still anchors the speedup column.
+	ShardedLog bool
 
 	Seeds   []uint64
 	Warmup  sim.Duration
@@ -104,6 +109,7 @@ func (s ScalingSpec) Points() []Point {
 	for _, wl := range s.Workloads {
 		for _, n := range sockets {
 			cfg := platform.HC2Scaled(n)
+			cfg.LogDevPerSocket = s.ShardedLog
 			pps := s.PartitionsPerSocket
 			if pps <= 0 {
 				pps = cfg.Cores
@@ -117,7 +123,8 @@ func (s ScalingSpec) Points() []Point {
 						Index: len(out), Group: "fig-scaling",
 						Engine: spec, Workload: wl,
 						Terminals: tps * n, Seed: seed, Sockets: n,
-						Warmup: warmup, Measure: measure, Drain: s.Drain,
+						ShardedLog: cfg.ShardedLog(),
+						Warmup:     warmup, Measure: measure, Drain: s.Drain,
 					})
 				}
 			}
@@ -129,14 +136,24 @@ func (s ScalingSpec) Points() []Point {
 // Run executes the scaling sweep; see Run.
 func (s ScalingSpec) Run(opt Options) []Result { return Run(s.Points(), opt) }
 
+// logLabel names a point's durability layout in tables.
+func logLabel(sharded bool) string {
+	if sharded {
+		return "sharded"
+	}
+	return "central"
+}
+
 // ScalingTable renders scaling results as the fig-scaling table: one row
 // per point with a speedup column relative to the same engine and
-// workload at the lowest measured socket count.
+// workload at the lowest measured socket count. Sharded-log rows share
+// that baseline — a 1-socket machine is identical with the flag on or off
+// — so central and sharded curves of one engine are directly comparable.
 func ScalingTable(results []Result) *stats.Table {
-	t := stats.NewTable("workload", "engine", ">sockets", ">terminals",
+	t := stats.NewTable("workload", "engine", "log", ">sockets", ">terminals",
 		">tps", ">speedup", ">uJ/txn", ">p50", ">p95", ">commits")
 	// Baseline tps per (workload, engine): the lowest measured socket
-	// count with a usable result, regardless of row order.
+	// count with a usable result, regardless of row order or log layout.
 	type curve struct{ wl, eng string }
 	type baseline struct {
 		sockets int
@@ -155,7 +172,7 @@ func ScalingTable(results []Result) *stats.Table {
 	for _, r := range results {
 		p := r.Point
 		if r.Err != nil {
-			t.Row(p.Workload.Name, p.Engine.Name, fmt.Sprintf("%d", p.Sockets),
+			t.Row(p.Workload.Name, p.Engine.Name, logLabel(p.ShardedLog), fmt.Sprintf("%d", p.Sockets),
 				fmt.Sprintf("%d", p.Terminals), "error: "+r.Err.Error(), "", "", "", "", "")
 			continue
 		}
@@ -163,7 +180,7 @@ func ScalingTable(results []Result) *stats.Table {
 		if b := base[curve{p.Workload.Name, p.Engine.Name}]; b.tps > 0 {
 			speedup = r.Res.TPS / b.tps
 		}
-		t.Row(p.Workload.Name, p.Engine.Name,
+		t.Row(p.Workload.Name, p.Engine.Name, logLabel(p.ShardedLog),
 			fmt.Sprintf("%d", p.Sockets),
 			fmt.Sprintf("%d", p.Terminals),
 			fmt.Sprintf("%.0f", r.Res.TPS),

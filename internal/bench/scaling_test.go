@@ -150,3 +150,133 @@ func TestScalingThroughputGrows(t *testing.T) {
 		t.Errorf("dora TATP throughput at 4 sockets = %.0f tps, want at least 2x the 1-socket %.0f", four, one)
 	}
 }
+
+// TestScalingShardedLogAxis pins the sharded-log axis: sharded points are
+// annotated (except at 1 socket, where sharding is structurally absent and
+// the run must be bit-identical to the central baseline), digests keep the
+// two layouts apart, and the sharded engines actually beat their
+// centralized selves where the log is the wall.
+func TestScalingShardedLogAxis(t *testing.T) {
+	mk := func(sharded bool) ScalingSpec {
+		return ScalingSpec{
+			Sockets:            []int{1, 2},
+			Workloads:          []WorkloadSpec{smallYCSB()},
+			Engines:            DefaultScalingEngines()[1:2], // dora
+			TerminalsPerSocket: 4,
+			Seeds:              []uint64{7},
+			Warmup:             1 * sim.Millisecond,
+			Measure:            2 * sim.Millisecond,
+			ShardedLog:         sharded,
+		}
+	}
+	central := mk(false).Points()
+	sharded := mk(true).Points()
+	if sharded[0].ShardedLog {
+		t.Error("1-socket point annotated sharded; the flag is structurally inert there")
+	}
+	if !sharded[1].ShardedLog {
+		t.Error("2-socket sharded point not annotated")
+	}
+	cres := Run(central, Options{Parallel: 2})
+	sres := Run(sharded, Options{Parallel: 2})
+	for _, rs := range [][]Result{cres, sres} {
+		for _, r := range rs {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	// 1-socket runs are bit-identical with the flag on or off.
+	if d1, d2 := Digest(cres[:1]), Digest(sres[:1]); d1 != d2 {
+		t.Errorf("1-socket sharded run diverged from central: %s vs %s", d1, d2)
+	}
+	// 2-socket digests must differ in annotation (and almost surely in
+	// results); a combined document keeps both rows addressable.
+	if d1, d2 := Digest(cres), Digest(sres); d1 == d2 {
+		t.Error("sharded axis digests identically to central")
+	}
+	b, err := JSON(append(append([]Result{}, cres...), sres...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Name       string `json:"name"`
+			ShardedLog bool   `json:"sharded_log"`
+			LogShards  []struct {
+				Shard int   `json:"shard"`
+				Bytes int64 `json:"bytes"`
+				Syncs int64 `json:"syncs"`
+			} `json:"log_shards"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	last := doc.Results[len(doc.Results)-1]
+	if !last.ShardedLog || !strings.Contains(last.Name, "/slog") {
+		t.Errorf("sharded point emitted as %q sharded=%v", last.Name, last.ShardedLog)
+	}
+	if len(last.LogShards) != 2 {
+		t.Fatalf("sharded 2-socket point reports %d log shards", len(last.LogShards))
+	}
+	both := 0
+	for _, sh := range last.LogShards {
+		if sh.Bytes > 0 && sh.Syncs > 0 {
+			both++
+		}
+	}
+	if both != 2 {
+		t.Errorf("both shards should carry log traffic: %+v", last.LogShards)
+	}
+	if len(doc.Results[0].LogShards) != 1 {
+		t.Errorf("central point reports %d log shards, want 1", len(doc.Results[0].LogShards))
+	}
+	table := ScalingTable(append(append([]Result{}, cres...), sres...)).String()
+	for _, want := range []string{"central", "sharded", "log"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("scaling table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRecoverySweepSmall runs the fig-recovery experiment at 1 and 2
+// sockets on a small YCSB database: every point must recover without error
+// (the point itself cross-checks serial vs parallel replay content) and
+// report a sane shape.
+func TestRecoverySweepSmall(t *testing.T) {
+	spec := RecoverySpec{
+		Sockets:            []int{1, 2},
+		Workload:           func(n int) WorkloadSpec { return smallYCSB() },
+		ShardedLog:         true,
+		TerminalsPerSocket: 4,
+		Seed:               42,
+		Warmup:             1 * sim.Millisecond,
+		Measure:            3 * sim.Millisecond,
+	}
+	results := spec.RunRecovery(Options{Parallel: 2})
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("x%d: %v", r.Sockets, r.Err)
+		}
+		if r.Rows == 0 || r.Txns == 0 || r.LogBytes == 0 {
+			t.Errorf("x%d recovered nothing: %+v", r.Sockets, r)
+		}
+		if r.TotalSim <= 0 || r.Joules <= 0 {
+			t.Errorf("x%d missing cost accounting: total=%v joules=%g", r.Sockets, r.TotalSim, r.Joules)
+		}
+	}
+	if results[0].Shards != 1 || results[1].Shards != 2 {
+		t.Errorf("shard counts %d/%d, want 1/2", results[0].Shards, results[1].Shards)
+	}
+	table := RecoveryTable(results).String()
+	if !strings.Contains(table, "par replay") {
+		t.Errorf("recovery table malformed:\n%s", table)
+	}
+	if _, err := RecoveryJSON(results); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,7 @@ type Conventional struct {
 	lm     *lockmgr.Manager
 	tm     *txn.Manager
 	logMgr *wal.Manager
+	logSet *wal.LogSet
 	store  *wal.Store
 	dm     *storage.DiskManager
 
@@ -65,7 +66,13 @@ func NewConventional(env *sim.Env, cfg *platform.Config, tables []TableDef) *Con
 	e.lm = lockmgr.New(pl, lockmgr.DefaultConfig())
 	e.store = wal.NewStore(pl.SSD)
 	e.logMgr = wal.NewManager(pl, e.store, wal.DefaultManagerConfig())
-	e.tm = txn.NewManager(env, e.logMgr, txn.DefaultConfig())
+	// The shared-everything engine never shards its log, even on a machine
+	// with per-socket log devices: without data-oriented routing a key has
+	// no home socket, so per-socket streams would leave same-key records
+	// with no recoverable order. Its centralized log (and single SSD) stays
+	// — that is the scaling wall the sharded engines escape.
+	e.logSet = wal.NewLogSet(pl, []wal.LogShard{{App: e.logMgr, Store: e.store}})
+	e.tm = txn.NewManager(env, e.logSet, txn.DefaultConfig())
 	for i := 0; i < latchStripes; i++ {
 		e.latches = append(e.latches, sim.NewResource(env, fmt.Sprintf("page-latch-%d", i), 1))
 	}
@@ -125,6 +132,12 @@ func (e *Conventional) DiskManager() *storage.DiskManager { return e.dm }
 
 // LogStore exposes the durable log for recovery.
 func (e *Conventional) LogStore() *wal.Store { return e.store }
+
+// LogSet exposes the (single-shard) log set for checkpointing and recovery.
+func (e *Conventional) LogSet() *wal.LogSet { return e.logSet }
+
+// LogStats reports the central log's activity as a one-shard set.
+func (e *Conventional) LogStats() []stats.LogShardStats { return e.logSet.Stats() }
 
 // Close implements Engine.
 func (e *Conventional) Close() { e.logMgr.Stop() }

@@ -412,7 +412,7 @@ func TestCheckpointRecoverRoundTrip(t *testing.T) {
 	// the durable log survive. Recover in a fresh boot on the same
 	// machine.
 	env.Spawn("recovery", func(p *sim.Proc) {
-		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), e.LogStore().Data())
+		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), e.LogStore().Bytes())
 		if err != nil {
 			t.Error(err)
 			return

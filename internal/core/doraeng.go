@@ -43,12 +43,12 @@ type DORAEngine struct {
 	reg   *dora.Registry
 	parts []*dora.Partition
 
-	tm     *txn.Manager
-	log    wal.Appender
-	logMgr *wal.Manager      // non-nil when Log offload is off
-	hwLog  *logengine.Engine // non-nil when Log offload is on
-	store  *wal.Store
-	dm     *storage.DiskManager
+	tm      *txn.Manager
+	logSet  *wal.LogSet
+	logMgrs []*wal.Manager      // per-shard software managers (Log offload off)
+	hwLogs  []*logengine.Engine // per-shard hardware engines (Log offload on)
+	sharded bool                // more than one log shard (cfg.ShardedLog())
+	dm      *storage.DiskManager
 
 	bd     *stats.Breakdown
 	ctr    *stats.Counter
@@ -87,15 +87,37 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 		ctr:    stats.NewCounter(),
 	}
 	e.dm = storage.NewDiskManager(pl.Disk, cfg.PageSize)
-	e.store = wal.NewStore(pl.SSD)
-	if off.Log {
-		e.hwLog = logengine.New(pl, e.store, logengine.DefaultConfig())
-		e.log = e.hwLog
-	} else {
-		e.logMgr = wal.NewManager(pl, e.store, wal.DefaultManagerConfig())
-		e.log = e.logMgr
+	// Durable log: one shard per socket when the machine shards its log
+	// (per-socket managers or hardware engine shards, each on its own
+	// device), otherwise the classic single central stream — structurally
+	// identical to the pre-sharding engine.
+	e.sharded = cfg.ShardedLog()
+	nShards := 1
+	if e.sharded {
+		nShards = pl.NumSockets()
 	}
-	e.tm = txn.NewManager(env, e.log, txn.DefaultConfig())
+	shards := make([]wal.LogShard, nShards)
+	for s := 0; s < nShards; s++ {
+		st := wal.NewStore(pl.LogSSD(s))
+		var app wal.Appender
+		if off.Log {
+			var hw *logengine.Engine
+			if e.sharded {
+				hw = logengine.NewShard(pl, st, logengine.DefaultConfig(), s)
+			} else {
+				hw = logengine.New(pl, st, logengine.DefaultConfig())
+			}
+			e.hwLogs = append(e.hwLogs, hw)
+			app = hw
+		} else {
+			m := wal.NewManager(pl, st, wal.DefaultManagerConfig())
+			e.logMgrs = append(e.logMgrs, m)
+			app = m
+		}
+		shards[s] = wal.LogShard{App: app, Store: st, Socket: s}
+	}
+	e.logSet = wal.NewLogSet(pl, shards)
+	e.tm = txn.NewManager(env, e.logSet, txn.DefaultConfig())
 
 	if off.Overlay || off.Tree {
 		e.probe = treeprobe.New(pl, treeprobe.DefaultConfig())
@@ -161,8 +183,15 @@ func (e *DORAEngine) Overlay() *overlay.Store { return e.ov }
 // ProbeEngine exposes the tree-probe unit (nil when unused).
 func (e *DORAEngine) ProbeEngine() *treeprobe.Engine { return e.probe }
 
-// LogStore exposes the durable log for recovery.
-func (e *DORAEngine) LogStore() *wal.Store { return e.store }
+// LogStore exposes shard 0's durable log (the whole log on a non-sharded
+// engine); sharded recovery goes through LogSet.
+func (e *DORAEngine) LogStore() *wal.Store { return e.logSet.Store(0) }
+
+// LogSet exposes the full sharded log for checkpointing and recovery.
+func (e *DORAEngine) LogSet() *wal.LogSet { return e.logSet }
+
+// LogStats reports per-shard log activity (bytes, syncs, epochs).
+func (e *DORAEngine) LogStats() []stats.LogShardStats { return e.logSet.Stats() }
 
 // DiskManager exposes the checkpoint page store.
 func (e *DORAEngine) DiskManager() *storage.DiskManager { return e.dm }
@@ -233,11 +262,11 @@ func (e *DORAEngine) Close() {
 	for _, pt := range e.parts {
 		pt.Close()
 	}
-	if e.logMgr != nil {
-		e.logMgr.Stop()
+	for _, m := range e.logMgrs {
+		m.Stop()
 	}
-	if e.hwLog != nil {
-		e.hwLog.Stop()
+	for _, hw := range e.hwLogs {
+		hw.Stop()
 	}
 	if e.ov != nil {
 		e.ov.Stop()
@@ -268,6 +297,18 @@ func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
 		}
 		sig := e.tm.Commit(task, tx)
 		task.Flush()
+		// Sharded log, cross-shard write set: the decision round must not
+		// acknowledge (and locks must not release) before the vector
+		// durable point. With per-shard streams there is no global LSN
+		// ordering dependent commits across sockets, so a remote shard's
+		// entity locks anchor the ordering instead: they hold until every
+		// shard of this transaction's vector is durable, and only then
+		// does the decision broadcast let dependents proceed. Transactions
+		// whose writes stay on one shard keep the early-release fast path
+		// — same-shard group commit orders their dependents for free.
+		if e.sharded && len(tx.Shards) > 1 {
+			sig.Await(term.P)
+		}
 		e.crossShardDecision(term, task, dtx, true)
 		e.releaseLocks(task, dtx)
 		sig.Await(term.P)

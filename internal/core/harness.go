@@ -60,6 +60,15 @@ type Result struct {
 	Latency   *stats.Histogram // committed-transaction latency
 	TxnCounts map[string]int64 // per-transaction-type completions
 	Cache     platform.CacheStats
+
+	// LogShards is per-log-shard activity in the window (bytes written,
+	// syncs, arbitration epochs per socket); one entry for a central log.
+	LogShards []stats.LogShardStats
+}
+
+// logStatser is implemented by engines that report per-shard log counters.
+type logStatser interface {
+	LogStats() []stats.LogShardStats
 }
 
 // String renders a one-line summary.
@@ -127,17 +136,24 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	var startBD, endBD stats.Breakdown
 	var startSnap, endSnap platform.Snapshot
 	var startCommits, endCommits, startAborts, endAborts int64
+	var startLog, endLog []stats.LogShardStats
 	env.At(warmT, func() {
 		startBD = *eng.Breakdown()
 		startSnap = pl.Snapshot()
 		startCommits = eng.Counters().Get("commits")
 		startAborts = eng.Counters().Get("aborts.user")
+		if ls, ok := eng.(logStatser); ok {
+			startLog = ls.LogStats()
+		}
 	})
 	env.At(endT, func() {
 		endBD = *eng.Breakdown()
 		endSnap = pl.Snapshot()
 		endCommits = eng.Counters().Get("commits")
 		endAborts = eng.Counters().Get("aborts.user")
+		if ls, ok := eng.(logStatser); ok {
+			endLog = ls.LogStats()
+		}
 	})
 
 	stop := false
@@ -188,5 +204,10 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		res.JoulesPerTxn = res.Energy.Total() / float64(res.Commits)
 	}
 	res.Cache = pl.CacheStats()
+	if len(endLog) == len(startLog) {
+		for i := range endLog {
+			res.LogShards = append(res.LogShards, endLog[i].Sub(startLog[i]))
+		}
+	}
 	return res, nil
 }

@@ -1,49 +1,157 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
 	"sort"
 
 	"bionicdb/internal/btree"
+	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
 	"bionicdb/internal/storage"
 	"bionicdb/internal/wal"
 )
 
 // CheckpointMeta is the recovery anchor: the root page of every table's
-// checkpoint image plus the log position recovery replays from. Figure 4
-// keeps "log sync & recovery" in software; this is that box.
+// checkpoint image plus the log positions recovery replays from. Figure 4
+// keeps "log sync & recovery" in software; this is that box. On a sharded
+// log the start position is a vector, one entry per shard; StartLSN remains
+// shard 0's entry for single-shard callers.
 type CheckpointMeta struct {
-	Roots    map[uint16]storage.PageID
-	StartLSN wal.LSN
+	Roots     map[uint16]storage.PageID
+	StartLSN  wal.LSN
+	StartLSNs []wal.LSN
 }
 
-// Checkpoint writes every table's pages durably through dm and returns the
-// metadata Recover needs. The engine must be quiesced (no active
-// transactions): bionicdb checkpoints are sharp, not fuzzy.
+// startLSN returns the replay start position for shard.
+func (m CheckpointMeta) startLSN(shard int) wal.LSN {
+	if shard < len(m.StartLSNs) {
+		return m.StartLSNs[shard]
+	}
+	if shard == 0 {
+		return m.StartLSN
+	}
+	return 0
+}
+
+// Checkpoint writes every table's pages durably through dm and anchors
+// recovery at the single log's current durable point. The engine must be
+// quiesced (no active transactions): bionicdb checkpoints are sharp, not
+// fuzzy.
 func Checkpoint(p *sim.Proc, tables map[uint16]*btree.Tree, dm *storage.DiskManager, log *wal.Store) CheckpointMeta {
+	meta := checkpointPages(p, tables, dm)
+	meta.StartLSN = log.Durable()
+	meta.StartLSNs = []wal.LSN{meta.StartLSN}
+	return meta
+}
+
+// CheckpointAll is Checkpoint over a sharded log: the recovery anchor is
+// the per-shard start-LSN vector of every shard's durable point.
+func CheckpointAll(p *sim.Proc, tables map[uint16]*btree.Tree, dm *storage.DiskManager, ls *wal.LogSet) CheckpointMeta {
+	meta := checkpointPages(p, tables, dm)
+	meta.StartLSNs = ls.StartLSNs()
+	meta.StartLSN = meta.StartLSNs[0]
+	return meta
+}
+
+func checkpointPages(p *sim.Proc, tables map[uint16]*btree.Tree, dm *storage.DiskManager) CheckpointMeta {
 	meta := CheckpointMeta{Roots: make(map[uint16]storage.PageID)}
 	ids := make([]int, 0, len(tables))
 	for id := range tables {
 		ids = append(ids, int(id))
 	}
 	sort.Ints(ids)
+	// A sharp checkpoint streams: pages are written sequentially, so the
+	// device is charged one bulk transfer per table, not one seek per page.
 	for _, id := range ids {
 		tree := tables[uint16(id)]
 		meta.Roots[uint16(id)] = tree.RootID()
+		written := 0
 		tree.Checkpoint(func(pid storage.PageID, img []byte) {
-			dm.Write(p, pid, img)
+			dm.Store(pid, img)
+			written += dm.SpanBytes(len(img))
 		})
+		dm.Device().Transfer(p, written)
 	}
-	meta.StartLSN = log.Durable()
 	return meta
 }
 
-// Recover rebuilds every table from its checkpoint image and replays the
-// logical log: committed transactions' data records after meta.StartLSN are
-// applied in log order; records of transactions without a commit record are
-// ignored (runtime aborts rolled back in memory, so redo-only logical
-// recovery suffices). It returns the recovered trees keyed by table id.
-func Recover(p *sim.Proc, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager, logData []byte) (map[uint16]*btree.Tree, error) {
+// scanCommits collects every commit record in one shard's log after start:
+// the transaction ids and, for cross-shard commits, their durability
+// vectors.
+func scanCommits(data []byte, start wal.LSN, out map[uint64][]wal.ShardLSN) error {
+	return wal.Scan(data, start, func(r wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			if len(r.After) > 0 {
+				vec, err := wal.DecodeShardVec(r.After)
+				if err != nil {
+					return true // malformed vector: unverifiable, not committed
+				}
+				out[r.Txn] = vec
+			} else {
+				out[r.Txn] = nil // single-shard commit: no vector needed
+			}
+		}
+		return true
+	})
+}
+
+// committedSet merges per-shard commit scans into the set of transactions
+// recovery may replay. A cross-shard commit qualifies only if every entry
+// of its durability vector survived the crash — the commit was never
+// acknowledged otherwise, so dropping it is exactly what the client
+// observed. Single-shard commits carry no vector: the commit record's own
+// presence already orders it after the transaction's data on that shard.
+func committedSet(perShard []map[uint64][]wal.ShardLSN, durable []wal.LSN) map[uint64]bool {
+	committed := make(map[uint64]bool)
+	for _, m := range perShard {
+		for txn, vec := range m {
+			ok := true
+			for _, e := range vec {
+				if e.Shard >= len(durable) || e.LSN > durable[e.Shard] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				committed[txn] = true
+			}
+		}
+	}
+	return committed
+}
+
+// applyShard replays one shard's committed data records, in shard-log
+// order, into trees. Record fields are views into the log bytes, so images
+// are copied before installation.
+func applyShard(trees map[uint16]*btree.Tree, data []byte, start wal.LSN, committed map[uint64]bool) (records int64, err error) {
+	err = wal.Scan(data, start, func(r wal.Record) bool {
+		if !committed[r.Txn] {
+			return true
+		}
+		tree, ok := trees[r.Table]
+		if !ok {
+			return true // table not part of this recovery set
+		}
+		switch r.Type {
+		case wal.RecInsert, wal.RecUpdate:
+			key := append([]byte(nil), r.Key...)
+			val := append([]byte(nil), r.After...)
+			tree.Put(key, val, nil)
+			records++
+		case wal.RecDelete:
+			tree.Delete(r.Key, nil)
+			records++
+		}
+		return true
+	})
+	return records, err
+}
+
+// loadTrees rebuilds every table from its checkpoint image.
+func loadTrees(p *sim.Proc, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager) (map[uint16]*btree.Tree, error) {
 	trees := make(map[uint16]*btree.Tree, len(defs))
 	for _, def := range defs {
 		tree, err := btree.Load(btree.Config{Order: def.Order}, meta.Roots[def.ID],
@@ -53,37 +161,212 @@ func Recover(p *sim.Proc, defs []TableDef, meta CheckpointMeta, dm *storage.Disk
 		}
 		trees[def.ID] = tree
 	}
-	// Pass 1: which transactions committed?
-	committed := make(map[uint64]bool)
-	if err := wal.Scan(logData, meta.StartLSN, func(r wal.Record) bool {
-		if r.Type == wal.RecCommit {
-			committed[r.Txn] = true
-		}
-		return true
-	}); err != nil {
+	return trees, nil
+}
+
+// Recover rebuilds every table from its checkpoint image and replays the
+// logical logs: committed transactions' data records after the per-shard
+// start positions are applied in shard-log order, shard by shard; records
+// of transactions without a (vector-complete) commit record are ignored
+// (runtime aborts rolled back in memory, so redo-only logical recovery
+// suffices). Pass one log for the classic central stream or one per shard
+// for a sharded set. Shards hold disjoint key sets — data-oriented routing
+// sends every record for a key to that key's home socket — so the merged
+// state is independent of shard order. It returns the recovered trees
+// keyed by table id.
+func Recover(p *sim.Proc, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager, logs ...[]byte) (map[uint16]*btree.Tree, error) {
+	trees, err := loadTrees(p, defs, meta, dm)
+	if err != nil {
 		return nil, err
 	}
-	// Pass 2: redo committed work in log order. Record fields are views
-	// into logData, so images are copied before installation.
-	if err := wal.Scan(logData, meta.StartLSN, func(r wal.Record) bool {
-		if !committed[r.Txn] {
-			return true
+	// Pass 1: which transactions committed, with complete vectors?
+	perShard := make([]map[uint64][]wal.ShardLSN, len(logs))
+	durable := make([]wal.LSN, len(logs))
+	for s, data := range logs {
+		perShard[s] = make(map[uint64][]wal.ShardLSN)
+		durable[s] = wal.LSN(len(data))
+		if err := scanCommits(data, meta.startLSN(s), perShard[s]); err != nil {
+			return nil, err
 		}
-		tree, ok := trees[r.Table]
-		if !ok && (r.Type == wal.RecInsert || r.Type == wal.RecUpdate || r.Type == wal.RecDelete) {
-			return true // table not part of this recovery set
+	}
+	committed := committedSet(perShard, durable)
+	// Pass 2: redo committed work, shard by shard in log order.
+	for s, data := range logs {
+		if _, err := applyShard(trees, data, meta.startLSN(s), committed); err != nil {
+			return nil, err
 		}
-		switch r.Type {
-		case wal.RecInsert, wal.RecUpdate:
-			key := append([]byte(nil), r.Key...)
-			val := append([]byte(nil), r.After...)
-			tree.Put(key, val, nil)
-		case wal.RecDelete:
-			tree.Delete(r.Key, nil)
-		}
-		return true
-	}); err != nil {
-		return nil, err
 	}
 	return trees, nil
+}
+
+// ContentDigest folds a table set's full key/value content into one
+// SHA-256 hex string, in (table, key) order. Two recoveries are equivalent
+// iff their digests match — the identity the crash tests pin serial and
+// parallel replay to, independent of tree page layout.
+func ContentDigest(trees map[uint16]*btree.Tree) string {
+	h := sha256.New()
+	var b4 [4]byte
+	ids := make([]int, 0, len(trees))
+	for id := range trees {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		binary.LittleEndian.PutUint32(b4[:], uint32(id))
+		h.Write(b4[:])
+		trees[uint16(id)].Scan(nil, nil, nil, func(k, v []byte) bool {
+			binary.LittleEndian.PutUint32(b4[:], uint32(len(k)))
+			h.Write(b4[:])
+			h.Write(k)
+			binary.LittleEndian.PutUint32(b4[:], uint32(len(v)))
+			h.Write(b4[:])
+			h.Write(v)
+			return true
+		})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// RecoveryStats describes one measured recovery: how much log was replayed
+// and where the boot's simulated time went. Restore is the checkpoint-image
+// scan — sequential bandwidth on the one checkpoint device, the floor no
+// amount of sharding lowers; Replay is the log work the sharded subsystem
+// parallelizes across sockets.
+type RecoveryStats struct {
+	Shards   int
+	LogBytes int64 // bytes scanned across all shards (after the start vector)
+	Records  int64 // committed data records replayed
+	Txns     int64 // committed transactions replayed
+	Restore  sim.Duration
+	Replay   sim.Duration
+	SimTime  sim.Duration
+}
+
+// Modeled replay costs (CPU-bound log work; device time comes from the
+// per-shard log read and the checkpoint page reads).
+const (
+	recScanInstrPerRec  = 60  // pass-1 record decode + commit-table probe
+	recApplyInstrPerRec = 450 // pass-2 redo dispatch + tree maintenance
+)
+
+const recInstrPerByte = 0.25 // per-byte decode/copy cost, both passes
+
+// RecoverMeasured is Recover under the machine's cost model: each shard's
+// log is read from its socket's log device and its records are scanned and
+// replayed on that socket's cores, with one recovery process per shard when
+// parallel is true (the sharded subsystem's parallel-recovery path) or a
+// single process walking the shards in order when false. Parallel replay is
+// safe because shards hold disjoint key sets; the recovered content is
+// identical to serial replay (tree page layout may differ — ingestion
+// order across tables interleaves — but every table's key/value state is
+// the same). The caller's process drives the phases and observes the
+// completion; pl must be a freshly-booted platform matching the crashed
+// machine's config.
+func RecoverMeasured(p *sim.Proc, pl *platform.Platform, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager, logs [][]byte, parallel bool) (map[uint16]*btree.Tree, RecoveryStats, error) {
+	start := p.Now()
+	st := RecoveryStats{Shards: len(logs)}
+	// Checkpoint restore: load the page images without per-page charges and
+	// pay for them as one sequential scan of the checkpoint file — how a
+	// boot actually reads it — instead of a random seek per page.
+	restored := 0
+	trees := make(map[uint16]*btree.Tree, len(defs))
+	for _, def := range defs {
+		tree, err := btree.Load(btree.Config{Order: def.Order}, meta.Roots[def.ID],
+			func(id storage.PageID) []byte {
+				img := dm.ReadRaw(id)
+				restored += dm.SpanBytes(len(img))
+				return img
+			})
+		if err != nil {
+			return nil, st, err
+		}
+		trees[def.ID] = tree
+	}
+	dm.Device().Transfer(p, restored)
+	st.Restore = p.Now().Sub(start)
+
+	// shardCore pins shard s's recovery work to its socket's first core
+	// (socket-indexed shards; a single central log recovers on core 0).
+	shardCore := func(s int) *platform.Core {
+		if len(logs) > 1 && s < len(pl.Sockets) {
+			return pl.Sockets[s].Cores[0]
+		}
+		return pl.Cores[0]
+	}
+	perShard := make([]map[uint64][]wal.ShardLSN, len(logs))
+	durable := make([]wal.LSN, len(logs))
+	var firstErr error
+	noteErr := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// Phase 1 per shard: read the shard's log from its device and scan for
+	// commit records, charging the scan on the shard's socket.
+	analyze := func(ps *sim.Proc, s int) {
+		data := logs[s]
+		tail := len(data) - int(meta.startLSN(s))
+		if tail < 0 {
+			tail = 0
+		}
+		pl.LogSSD(s).Transfer(ps, tail)
+		task := pl.NewTask(ps, shardCore(s), nil)
+		perShard[s] = make(map[uint64][]wal.ShardLSN)
+		durable[s] = wal.LSN(len(data))
+		noteErr(scanCommits(data, meta.startLSN(s), perShard[s]))
+		task.Exec(stats.CompLog, len(perShard[s])*recScanInstrPerRec+int(float64(tail)*recInstrPerByte))
+		task.Flush()
+		st.LogBytes += int64(tail)
+	}
+	// Phase 2 per shard: replay the shard's committed records on its socket.
+	var committed map[uint64]bool
+	replay := func(ps *sim.Proc, s int) {
+		task := pl.NewTask(ps, shardCore(s), nil)
+		n, err := applyShard(trees, logs[s], meta.startLSN(s), committed)
+		noteErr(err)
+		tail := len(logs[s]) - int(meta.startLSN(s))
+		if tail < 0 {
+			tail = 0
+		}
+		task.Exec(stats.CompLog, int(n)*recApplyInstrPerRec+int(float64(tail)*recInstrPerByte))
+		task.Flush()
+		st.Records += n
+	}
+
+	runPhase := func(fn func(ps *sim.Proc, s int)) {
+		if !parallel || len(logs) == 1 {
+			for s := range logs {
+				fn(p, s)
+			}
+			return
+		}
+		done := sim.NewSignal(p.Env())
+		remaining := len(logs)
+		for s := range logs {
+			s := s
+			p.Env().Spawn(fmt.Sprintf("recover-shard%d", s), func(ps *sim.Proc) {
+				fn(ps, s)
+				remaining--
+				if remaining == 0 {
+					done.Fire(nil)
+				}
+			})
+		}
+		done.Await(p)
+	}
+
+	runPhase(analyze)
+	if firstErr != nil {
+		return nil, st, firstErr
+	}
+	committed = committedSet(perShard, durable)
+	st.Txns = int64(len(committed))
+	runPhase(replay)
+	if firstErr != nil {
+		return nil, st, firstErr
+	}
+	st.SimTime = p.Now().Sub(start)
+	st.Replay = st.SimTime - st.Restore
+	return trees, st, nil
 }

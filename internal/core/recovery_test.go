@@ -78,7 +78,7 @@ func TestRecoveryAcrossEngines(t *testing.T) {
 				t.Fatal(err)
 			}
 			env.Spawn("recovery", func(p *sim.Proc) {
-				trees, err := Recover(p, kvTables(), meta, e.DiskManager(), e.LogStore().Data())
+				trees, err := Recover(p, kvTables(), meta, e.DiskManager(), e.LogStore().Bytes())
 				if err != nil {
 					t.Error(err)
 					return
@@ -107,6 +107,221 @@ func TestRecoveryAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestShardedCrashRecovery pins the sharded durability subsystem's read
+// side at 1, 2 and 4 sockets, for both the software and the hardware log
+// path: after a clean shutdown (every acknowledged commit durable), the
+// recovered table content must be byte-identical to the live engine's
+// post-run state — and the measured parallel replay must recover exactly
+// the same content as the serial one.
+func TestShardedCrashRecovery(t *testing.T) {
+	for _, sockets := range []int{1, 2, 4} {
+		for _, hw := range []bool{false, true} {
+			name := fmt.Sprintf("x%d-soft", sockets)
+			if hw {
+				name = fmt.Sprintf("x%d-hw", sockets)
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := platform.HC2ScaledSharded(sockets)
+				env := sim.NewEnv()
+				defer env.Close()
+				scheme := HashScheme(cfg.TotalCores())
+				var e *DORAEngine
+				if hw {
+					e = NewBionic(env, cfg, kvTables(), scheme, Offloads{Log: true}, 8)
+				} else {
+					e = NewDORA(env, cfg, kvTables(), scheme)
+				}
+				if got := e.LogSet().NumShards(); (sockets == 1 && got != 1) || (sockets > 1 && got != sockets) {
+					t.Fatalf("%d sockets built %d log shards", sockets, got)
+				}
+				for i := 0; i < 400; i++ {
+					e.Load(1, storage.Uint64Key(uint64(i)), []byte(fmt.Sprintf("base-%d", i)))
+				}
+				var meta CheckpointMeta
+				env.Spawn("driver", func(p *sim.Proc) {
+					meta = CheckpointAll(p, e.Tables(), e.DiskManager(), e.LogSet())
+					term := &Terminal{ID: 0, P: p, Core: e.Platform().Cores[0], R: sim.NewRand(1)}
+					r := sim.NewRand(uint64(7 + sockets))
+					for i := 0; i < 150; i++ {
+						k1 := storage.Uint64Key(uint64(r.Intn(400)))
+						k2 := storage.Uint64Key(uint64(r.Intn(400)))
+						v := []byte(fmt.Sprintf("mut-%d", i))
+						if i%3 == 0 && !bytes.Equal(k1, k2) {
+							// Multi-action transaction: with one partition
+							// per core the two keys regularly land on
+							// different sockets, exercising the cross-shard
+							// commit vector.
+							e.Submit(term, func(tx Tx) bool {
+								return tx.Phase(
+									Action{Table: 1, Key: k1, Body: func(c AccessCtx) bool {
+										c.Update(1, k1, v)
+										return true
+									}},
+									Action{Table: 1, Key: k2, Body: func(c AccessCtx) bool {
+										c.Update(1, k2, v)
+										return true
+									}})
+							})
+							continue
+						}
+						e.Submit(term, func(tx Tx) bool {
+							return tx.Phase(Action{Table: 1, Key: k1, Body: func(c AccessCtx) bool {
+								switch i % 5 {
+								case 1:
+									c.Delete(1, k1)
+								case 2:
+									if !c.Insert(1, k1, v) {
+										c.Update(1, k1, v)
+									}
+								default:
+									if !c.Update(1, k1, v) {
+										c.Insert(1, k1, v)
+									}
+								}
+								return true
+							}})
+						})
+					}
+					e.Close()
+				})
+				if err := env.Run(); err != nil {
+					t.Fatal(err)
+				}
+				liveDigest := ContentDigest(e.Tables())
+				logs := e.LogSet().Datas()
+
+				// Serial replay (unmeasured path).
+				env.Spawn("recover-serial", func(p *sim.Proc) {
+					trees, err := Recover(p, kvTables(), meta, e.DiskManager(), logs...)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got := ContentDigest(trees); got != liveDigest {
+						t.Errorf("serial recovery diverged from live state:\n got  %s\n want %s", got, liveDigest)
+					}
+					if err := trees[1].Validate(); err != nil {
+						t.Error(err)
+					}
+				})
+				if err := env.Run(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Measured replays on a fresh boot: serial and parallel must
+				// both reproduce the live content exactly.
+				for _, par := range []bool{false, true} {
+					env2 := sim.NewEnv()
+					pl2 := platform.New(env2, cfg)
+					dm2 := e.DiskManager().Rebind(pl2.Disk)
+					var st RecoveryStats
+					env2.Spawn("recover-measured", func(p *sim.Proc) {
+						trees, stats, err := RecoverMeasured(p, pl2, kvTables(), meta, dm2, logs, par)
+						st = stats
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if got := ContentDigest(trees); got != liveDigest {
+							t.Errorf("measured replay (parallel=%v) diverged:\n got  %s\n want %s", par, got, liveDigest)
+						}
+					})
+					if err := env2.Run(); err != nil {
+						t.Fatal(err)
+					}
+					env2.Close()
+					if st.Shards != len(logs) || st.SimTime <= 0 {
+						t.Errorf("recovery stats %+v", st)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrossShardTornVector pins the vector durable point's recovery
+// guarantee: a cross-shard transaction whose remote shard's data did not
+// survive the crash must not be replayed at all — not even its anchor-shard
+// records — because its commit record's vector no longer validates.
+func TestCrossShardTornVector(t *testing.T) {
+	cfg := platform.HC2ScaledSharded(2)
+	env := sim.NewEnv()
+	defer env.Close()
+	scheme := HashScheme(cfg.TotalCores())
+	e := NewDORA(env, cfg, kvTables(), scheme)
+	// Find keys homed on sockets 0 and 1 (partition p lives on core p,
+	// socket p/Cores).
+	var k0, k1 []byte
+	for i := uint64(0); k0 == nil || k1 == nil; i++ {
+		k := storage.Uint64Key(i)
+		if scheme.Route(1, k) < cfg.Cores {
+			if k0 == nil {
+				k0 = k
+			}
+		} else if k1 == nil {
+			k1 = k
+		}
+	}
+	e.Load(1, k0, []byte("before-0"))
+	e.Load(1, k1, []byte("before-1"))
+	var meta CheckpointMeta
+	env.Spawn("driver", func(p *sim.Proc) {
+		meta = CheckpointAll(p, e.Tables(), e.DiskManager(), e.LogSet())
+		term := &Terminal{ID: 0, P: p, Core: e.Platform().Cores[0], R: sim.NewRand(1)}
+		ok := e.Submit(term, func(tx Tx) bool {
+			return tx.Phase(
+				Action{Table: 1, Key: k0, Body: func(c AccessCtx) bool { return c.Update(1, k0, []byte("after-0")) }},
+				Action{Table: 1, Key: k1, Body: func(c AccessCtx) bool { return c.Update(1, k1, []byte("after-1")) }})
+		})
+		if !ok {
+			t.Error("cross-shard transaction did not commit")
+		}
+		e.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	logs := e.LogSet().Datas()
+	// Tear shard 1 back to its checkpoint position: the transaction's
+	// shard-1 data is gone, as after a crash that lost that device's tail.
+	torn := make([][]byte, len(logs))
+	copy(torn, logs)
+	torn[1] = torn[1][:meta.StartLSNs[1]]
+	env.Spawn("recovery", func(p *sim.Proc) {
+		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), torn...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if v, _ := trees[1].Get(k0, nil); !bytes.Equal(v, []byte("before-0")) {
+			t.Errorf("anchor-shard record of a vector-incomplete commit replayed: k0=%q", v)
+		}
+		if v, _ := trees[1].Get(k1, nil); !bytes.Equal(v, []byte("before-1")) {
+			t.Errorf("torn-shard record replayed: k1=%q", v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: with the full logs, the same recovery replays both sides.
+	env.Spawn("recovery-full", func(p *sim.Proc) {
+		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), logs...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if v, _ := trees[1].Get(k0, nil); !bytes.Equal(v, []byte("after-0")) {
+			t.Errorf("intact recovery lost k0: %q", v)
+		}
+		if v, _ := trees[1].Get(k1, nil); !bytes.Equal(v, []byte("after-1")) {
+			t.Errorf("intact recovery lost k1: %q", v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRecoveryIgnoresUncommittedTail simulates a crash with a torn log
 // tail: the damaged suffix must be skipped and everything before it
 // recovered.
@@ -132,7 +347,7 @@ func TestRecoveryIgnoresUncommittedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the last 5 bytes off the durable log.
-	data := e.LogStore().Data()
+	data := e.LogStore().Bytes()
 	torn := data[:len(data)-5]
 	env.Spawn("recovery", func(p *sim.Proc) {
 		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), torn)

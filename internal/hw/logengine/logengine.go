@@ -2,14 +2,21 @@
 // Worker cores append records to core-private staging buffers — no central
 // latch, a fraction of the software insert cost. A software log-sync daemon
 // (Figure 4 keeps "log sync & recovery" on the CPU) periodically, or when a
-// commit kicks it, collects all staging buffers, ships them over PCIe to
-// the FPGA where the unit arbitrates them into a single ordered stream, and
-// writes the ordered batch to the CPU-side SSD. Per-socket aggregation and
-// hardware arbitration replace the lock-free consolidation machinery of
-// software logs [7].
+// commit kicks it, collects all staging buffers, ships them over the
+// engine's link to the FPGA where the unit arbitrates them into a single
+// ordered stream, and writes the ordered batch to the CPU-side SSD.
+// Per-socket aggregation and hardware arbitration replace the lock-free
+// consolidation machinery of software logs [7].
+//
+// On a sharded-log machine each socket runs its own engine shard (NewShard):
+// its own arbitration unit, staging set, sync daemon, log link and SSD —
+// which removes the socket-0 funnel a single engine imposes on a scaled-out
+// machine.
 package logengine
 
 import (
+	"fmt"
+
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -45,25 +52,30 @@ func DefaultConfig() Config {
 
 // Engine implements wal.Appender over the hardware path.
 //
-// LSNs returned by Append are durability handles (monotone record sequence
-// numbers), not byte offsets: final byte order is assigned when the unit
-// arbitrates a collection epoch. An epoch collects every staging buffer
-// atomically, so by the time an epoch is durable, every record appended
-// before the collection — in particular everything a committing
-// transaction staged from any core — is durable with it. Recovery reads
-// the Store's byte stream and never sees handles.
+// LSNs returned by Append are durability horizons measured in staged bytes
+// (monotone, byte-denominated like the software manager's, though the
+// arbitration unit assigns the final intra-epoch byte order when it
+// collects an epoch). An epoch collects every staging buffer atomically, so
+// by the time an epoch is durable, every record appended before the
+// collection — in particular everything a committing transaction staged
+// from any core — is durable with it, and the engine's durable horizon
+// equals its store's byte length. Recovery reads the Store's byte stream
+// and compares horizons against its length, exactly as for a software
+// shard.
 type Engine struct {
 	cfg   Config
 	pl    *platform.Platform
 	store *wal.Store
 	unit  *platform.HWUnit
+	link  *platform.Device // host->FPGA->host crossing for epoch batches
+	home  *platform.Core   // core the log-sync daemon runs on
 
-	staging   [][]byte // per-core staged record bytes
+	staging   [][]byte // per-core staged record bytes (global core index)
 	stageAddr []uint64
 	counts    []int // records per staging buffer
 
-	handle  wal.LSN // next record handle (1-based)
-	durable wal.LSN // handles <= durable are on the SSD
+	handle  wal.LSN // horizon of the last staged record, in bytes
+	durable wal.LSN // horizons <= durable are on the SSD
 
 	waiters []hwWaiter
 	kick    *sim.Queue[struct{}]
@@ -79,21 +91,42 @@ type hwWaiter struct {
 	done *sim.Signal
 }
 
-// New creates the hardware log engine and spawns its log-sync daemon.
+// New creates the whole-machine hardware log engine — one arbitration unit
+// and one sync daemon for every core, the paper's single-socket
+// configuration — and spawns its log-sync daemon.
 func New(pl *platform.Platform, store *wal.Store, cfg Config) *Engine {
+	return newEngine(pl, store, cfg, "log-insert", pl.Cores[len(pl.Cores)-1], pl.PCIe)
+}
+
+// NewShard creates one socket's engine shard: its own arbitration unit,
+// its sync daemon on the socket's last core, and the socket's log link and
+// store. Any core may stage into it (a coordinator on another socket
+// writing a commit record to this shard), but in steady state only the
+// socket's own cores do.
+func NewShard(pl *platform.Platform, store *wal.Store, cfg Config, socket int) *Engine {
+	sock := pl.Sockets[socket]
+	return newEngine(pl, store, cfg, fmt.Sprintf("log-insert-s%d", socket),
+		sock.Cores[len(sock.Cores)-1], pl.LogLink(socket))
+}
+
+func newEngine(pl *platform.Platform, store *wal.Store, cfg Config, name string, home *platform.Core, link *platform.Device) *Engine {
 	e := &Engine{
 		cfg:     cfg,
 		pl:      pl,
 		store:   store,
-		unit:    pl.NewHWUnit("log-insert", 4),
+		unit:    pl.NewHWUnit(name, 4),
+		link:    link,
+		home:    home,
 		staging: make([][]byte, len(pl.Cores)),
 		counts:  make([]int, len(pl.Cores)),
-		kick:    sim.NewQueue[struct{}](pl.Env, "logengine-kick", 1),
+		handle:  store.Durable(),
+		durable: store.Durable(),
+		kick:    sim.NewQueue[struct{}](pl.Env, name+"-kick", 1),
 	}
 	for i := 0; i < len(pl.Cores); i++ {
 		e.stageAddr = append(e.stageAddr, pl.AllocHost(64<<10))
 	}
-	pl.Env.Spawn("log-sync", func(p *sim.Proc) { e.syncLoop(p) })
+	pl.Env.Spawn(name+"-sync", func(p *sim.Proc) { e.syncLoop(p) })
 	return e
 }
 
@@ -106,7 +139,7 @@ func (e *Engine) Append(t *platform.Task, rec *wal.Record) wal.LSN {
 	size := rec.EncodedSize()
 	t.Exec(stats.CompLog, e.cfg.AppendInstr+int(float64(size)*e.cfg.CopyInstrPerByte))
 	t.Access(stats.CompLog, e.stageAddr[core]+uint64(len(e.staging[core])%(64<<10)), size)
-	e.handle++
+	e.handle += wal.LSN(size)
 	rec.LSN = e.handle
 	e.staging[core] = rec.Encode(e.staging[core])
 	e.counts[core]++
@@ -116,7 +149,7 @@ func (e *Engine) Append(t *platform.Task, rec *wal.Record) wal.LSN {
 	return e.handle
 }
 
-// CommitDurable implements wal.Appender against record handles.
+// CommitDurable implements wal.Appender against staged-byte horizons.
 func (e *Engine) CommitDurable(h wal.LSN, done *sim.Signal) {
 	if h <= e.durable {
 		done.Fire(nil)
@@ -125,7 +158,7 @@ func (e *Engine) CommitDurable(h wal.LSN, done *sim.Signal) {
 	e.waiters = append(e.waiters, hwWaiter{h: h, done: done})
 }
 
-// Durable implements wal.Appender (handle watermark).
+// Durable implements wal.Appender (staged-byte watermark).
 func (e *Engine) Durable() wal.LSN { return e.durable }
 
 // Appends returns the number of records staged.
@@ -133,6 +166,10 @@ func (e *Engine) Appends() int64 { return e.appends }
 
 // Syncs returns the number of collection epochs flushed.
 func (e *Engine) Syncs() int64 { return e.syncs }
+
+// ShardStats reports the shard's sync count; every hardware sync is one
+// arbitration epoch.
+func (e *Engine) ShardStats() (syncs, epochs int64) { return e.syncs, e.syncs }
 
 // Stop quiesces the sync daemon after draining staged records.
 func (e *Engine) Stop() {
@@ -143,14 +180,14 @@ func (e *Engine) Stop() {
 }
 
 func (e *Engine) syncLoop(p *sim.Proc) {
-	// The daemon runs on the last core: Figure 4's "log sync" box.
-	core := e.pl.Cores[len(e.pl.Cores)-1]
+	// The daemon runs on the engine's home core: Figure 4's "log sync" box
+	// (the socket's last core for a shard).
 	for {
 		if e.kick.Len() == 0 {
 			p.Wait(e.cfg.SyncInterval)
 		}
 		e.kick.TryGet()
-		e.syncOnce(p, core)
+		e.syncOnce(p, e.home)
 		if e.stopped && e.pending() == 0 {
 			return
 		}
@@ -165,7 +202,7 @@ func (e *Engine) pending() int {
 	return total
 }
 
-// syncOnce collects one epoch: all staging buffers, one PCIe push to the
+// syncOnce collects one epoch: all staging buffers, one link push to the
 // unit for arbitration, then the ordered batch to the SSD.
 func (e *Engine) syncOnce(p *sim.Proc, core *platform.Core) {
 	// The staging buffers and the epoch batch are reused across epochs:
@@ -193,12 +230,12 @@ func (e *Engine) syncOnce(p *sim.Proc, core *platform.Core) {
 		return
 	}
 	e.syncs++
-	// Host -> FPGA: the staged records cross PCIe once, batched.
-	e.pl.PCIe.Transfer(p, len(batch))
+	// Host -> FPGA: the staged records cross the link once, batched.
+	e.link.Transfer(p, len(batch))
 	// Arbitration: the unit merges the per-core streams into final order.
 	e.unit.Work(p, records*e.cfg.ArbCyclesPerRecord)
 	// FPGA -> host -> SSD: the ordered epoch lands in the log file.
-	e.pl.PCIe.Transfer(p, len(batch))
+	e.link.Transfer(p, len(batch))
 	e.store.Write(p, batch)
 	e.spareBatch = batch[:0]
 	e.durable = epochHandle

@@ -39,7 +39,7 @@ func TestAppendAndCommitDurable(t *testing.T) {
 	}
 	// The durable stream must decode to both records.
 	var types []wal.RecType
-	if err := wal.Scan(store.Data(), 0, func(r wal.Record) bool {
+	if err := wal.Scan(store.Bytes(), 0, func(r wal.Record) bool {
 		types = append(types, r.Type)
 		return true
 	}); err != nil {
@@ -89,7 +89,7 @@ func TestCrossCoreRecordsDurableWithCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	if err := wal.Scan(store.Data(), 0, func(r wal.Record) bool { n++; return true }); err != nil {
+	if err := wal.Scan(store.Bytes(), 0, func(r wal.Record) bool { n++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 3 {

@@ -71,6 +71,13 @@ type Config struct {
 	SSDBWGBps float64
 	SSDLat    sim.Duration
 	SSDChans  int
+	// LogDevPerSocket gives every socket of a multi-socket machine its own
+	// log SSD (and its own FPGA log link), the device substrate of the
+	// sharded durability subsystem: engines then keep one log stream per
+	// socket instead of funnelling every record to socket 0's single SSD.
+	// On a single-socket machine the flag is inert — the paper's machine
+	// keeps exactly its one SSD and nothing new is built or paid for.
+	LogDevPerSocket bool
 
 	// --- Socket interconnect (multi-socket configurations only) ---
 
@@ -162,6 +169,19 @@ func HC2Scaled(sockets int) *Config {
 	cfg.Sockets = sockets
 	return cfg
 }
+
+// HC2ScaledSharded returns HC2Scaled(n) with per-socket log devices: the
+// machine the sharded-log scaling and recovery experiments run on.
+func HC2ScaledSharded(sockets int) *Config {
+	cfg := HC2Scaled(sockets)
+	cfg.LogDevPerSocket = true
+	return cfg
+}
+
+// ShardedLog reports whether this machine shards its durable log: one log
+// device per socket. Requires more than one socket; a single-socket config
+// never shards, so the paper's machine is untouched by the flag.
+func (c *Config) ShardedLog() bool { return c.LogDevPerSocket && c.NumSockets() > 1 }
 
 // NumSockets returns the effective socket count (a zero config field means
 // one socket).

@@ -38,6 +38,13 @@ func (pl *Platform) Snapshot() Snapshot {
 	}
 	s.DiskBusy = pl.Disk.BusyTime()
 	s.SSDBusy = pl.SSD.BusyTime()
+	// Sharded-log devices: index 0 aliases SSD/PCIe and is already counted.
+	for _, d := range pl.logSSDs[1:] {
+		s.SSDBusy += d.BusyTime()
+	}
+	for _, d := range pl.logLinks[1:] {
+		s.PCIeBytes += d.bytes
+	}
 	return s
 }
 

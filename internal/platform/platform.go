@@ -33,6 +33,13 @@ type Platform struct {
 	Disk     *Device // SAS array behind the FPGA
 	SSD      *Device // SSD behind the CPU (log device)
 
+	// Sharded-log devices (Cfg.ShardedLog() only): one log SSD and one
+	// FPGA log link per socket, indexed by socket. Entry 0 aliases SSD and
+	// PCIe — socket 0 keeps exactly the paper's devices — so a non-sharded
+	// machine has len-1 slices and pays for nothing new.
+	logSSDs  []*Device
+	logLinks []*Device
+
 	units []*HWUnit
 
 	instructions  int64
@@ -91,7 +98,40 @@ func New(env *sim.Env, cfg *Config) *Platform {
 	if nSock > 1 {
 		pl.IC = newInterconnect(env, cfg, nSock)
 	}
+	pl.logSSDs = []*Device{pl.SSD}
+	pl.logLinks = []*Device{pl.PCIe}
+	if cfg.ShardedLog() {
+		for s := 1; s < nSock; s++ {
+			pl.logSSDs = append(pl.logSSDs,
+				newHoldingDevice(env, fmt.Sprintf("ssd%d", s), cfg.SSDBWGBps, cfg.SSDLat, cfg.SSDChans))
+			pl.logLinks = append(pl.logLinks,
+				NewDevice(env, fmt.Sprintf("log-link%d", s), cfg.PCIeBWGBps, cfg.PCIeLat, 1))
+		}
+	}
 	return pl
+}
+
+// LogShards returns how many per-socket log shards the machine carries: the
+// socket count under Cfg.ShardedLog(), otherwise 1 (the single SSD).
+func (pl *Platform) LogShards() int { return len(pl.logSSDs) }
+
+// LogSSD returns the log device of the given socket. On a non-sharded
+// machine every socket shares the one Figure 2 SSD.
+func (pl *Platform) LogSSD(socket int) *Device {
+	if len(pl.logSSDs) == 1 {
+		return pl.SSD
+	}
+	return pl.logSSDs[socket]
+}
+
+// LogLink returns the host<->FPGA link the given socket's hardware log
+// shard crosses. Socket 0 (and every socket of a non-sharded machine) uses
+// the Figure 2 PCIe link; sharded sockets get their own.
+func (pl *Platform) LogLink(socket int) *Device {
+	if len(pl.logLinks) == 1 {
+		return pl.PCIe
+	}
+	return pl.logLinks[socket]
 }
 
 // NumSockets returns the socket count of the built machine.

@@ -177,23 +177,42 @@ type Signal struct {
 	fired   bool
 	val     any
 	waiters []*Proc
+	onFire  []func(any)
 }
 
 // NewSignal returns an unfired signal.
 func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
-// Fire completes the signal with value v and wakes all waiters. Firing an
-// already-fired signal panics: completions must be delivered exactly once.
+// Fire completes the signal with value v, runs OnFire callbacks, and wakes
+// all waiters. Firing an already-fired signal panics: completions must be
+// delivered exactly once.
 func (s *Signal) Fire(v any) {
 	if s.fired {
 		panic("sim: signal fired twice")
 	}
 	s.fired = true
 	s.val = v
+	for _, fn := range s.onFire {
+		fn(v)
+	}
+	s.onFire = nil
 	for _, w := range s.waiters {
 		s.env.scheduleWake(w, s.env.now)
 	}
 	s.waiters = nil
+}
+
+// OnFire registers fn to run synchronously, in registration order, when the
+// signal fires (before waiters wake). If the signal already fired, fn runs
+// immediately. Callbacks must not block; they exist so completion fan-in
+// (e.g. joining several sub-completions into one) needs no extra process —
+// and with it no extra event — per join.
+func (s *Signal) OnFire(fn func(any)) {
+	if s.fired {
+		fn(s.val)
+		return
+	}
+	s.onFire = append(s.onFire, fn)
 }
 
 // Fired reports whether the signal has completed.

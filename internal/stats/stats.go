@@ -351,6 +351,23 @@ func (t *Table) CSV() string {
 	return sb.String()
 }
 
+// LogShardStats is one durable-log shard's cumulative activity: the
+// per-socket counters the sharded durability subsystem reports (bytes on
+// the shard's device, device syncs, hardware arbitration epochs). A
+// non-sharded engine reports exactly one entry for its central log; the
+// hardware path reports Epochs == Syncs, the software path Epochs == 0.
+type LogShardStats struct {
+	Shard  int   // owning socket (0 for a central log)
+	Bytes  int64 // durable bytes written to the shard's log device
+	Syncs  int64 // device flushes (software) or collection epochs (hardware)
+	Epochs int64 // hardware arbitration epochs (0 on software shards)
+}
+
+// Sub returns the per-field difference s - o, for windowed measurements.
+func (s LogShardStats) Sub(o LogShardStats) LogShardStats {
+	return LogShardStats{Shard: s.Shard, Bytes: s.Bytes - o.Bytes, Syncs: s.Syncs - o.Syncs, Epochs: s.Epochs - o.Epochs}
+}
+
 // Counter is a named monotonic event counter set.
 type Counter struct {
 	m map[string]int64

@@ -7,7 +7,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
@@ -52,23 +51,59 @@ func (dm *DiskManager) Allocate() PageID {
 	return id
 }
 
-// Write stores a durable copy of data as page id, charging one page write.
-func (dm *DiskManager) Write(p *sim.Proc, id PageID, data []byte) {
-	if len(data) > dm.pageSize {
-		panic(fmt.Sprintf("storage: page %d image %dB exceeds page size %dB", id, len(data), dm.pageSize))
+// spanPages returns how many on-device pages an image of n bytes occupies
+// (at least one; a wide B+Tree node's checkpoint image may span several).
+func (dm *DiskManager) spanPages(n int) int {
+	pages := (n + dm.pageSize - 1) / dm.pageSize
+	if pages < 1 {
+		pages = 1
 	}
+	return pages
+}
+
+// SpanBytes returns the on-device footprint of an image of n bytes (whole
+// pages).
+func (dm *DiskManager) SpanBytes(n int) int { return dm.spanPages(n) * dm.pageSize }
+
+// Write stores a durable copy of data as page id, charging one device write
+// per page the image spans.
+func (dm *DiskManager) Write(p *sim.Proc, id PageID, data []byte) {
 	dm.writes++
-	dm.dev.Transfer(p, dm.pageSize)
+	dm.dev.Transfer(p, dm.spanPages(len(data))*dm.pageSize)
 	img := make([]byte, len(data))
 	copy(img, data)
 	dm.pages[id] = img
 }
 
-// Read returns a copy of page id's durable image, charging one page read.
-// Reading a never-written page returns nil.
+// Read returns a copy of page id's durable image, charging one device read
+// per page the image spans. Reading a never-written page returns nil.
 func (dm *DiskManager) Read(p *sim.Proc, id PageID) []byte {
 	dm.reads++
-	dm.dev.Transfer(p, dm.pageSize)
+	img, ok := dm.pages[id]
+	if !ok {
+		dm.dev.Transfer(p, dm.pageSize)
+		return nil
+	}
+	dm.dev.Transfer(p, dm.spanPages(len(img))*dm.pageSize)
+	out := make([]byte, len(img))
+	copy(out, img)
+	return out
+}
+
+// Store installs a durable copy of data as page id without charging I/O —
+// for bulk writers (the sharp checkpointer) that stream many pages and
+// account the device time as one sequential transfer via Device().
+func (dm *DiskManager) Store(id PageID, data []byte) {
+	dm.writes++
+	img := make([]byte, len(data))
+	copy(img, data)
+	dm.pages[id] = img
+}
+
+// ReadRaw returns page id's durable image without charging I/O — for
+// recovery paths that account their device time in bulk (a boot restores
+// the checkpoint with one sequential scan, not a random read per page).
+func (dm *DiskManager) ReadRaw(id PageID) []byte {
 	img, ok := dm.pages[id]
 	if !ok {
 		return nil
@@ -76,6 +111,17 @@ func (dm *DiskManager) Read(p *sim.Proc, id PageID) []byte {
 	out := make([]byte, len(img))
 	copy(out, img)
 	return out
+}
+
+// Device returns the device this manager charges.
+func (dm *DiskManager) Device() *platform.Device { return dm.dev }
+
+// Rebind returns a disk manager over the same durable page images charging
+// a different device — how a recovery boot on a fresh platform reads the
+// page images that survived a crash. The images are shared, not copied;
+// the rebound manager is for read-mostly recovery use.
+func (dm *DiskManager) Rebind(dev *platform.Device) *DiskManager {
+	return &DiskManager{dev: dev, pageSize: dm.pageSize, pages: dm.pages, nextID: dm.nextID}
 }
 
 // Exists reports whether page id has a durable image (no I/O charged).

@@ -145,14 +145,44 @@ func TestDiskManagerChargesDevice(t *testing.T) {
 	}
 }
 
-func TestDiskManagerOversizePagePanics(t *testing.T) {
+func TestDiskManagerWideImageSpansPages(t *testing.T) {
+	// A checkpoint image wider than one page (a fat B+Tree node) spans
+	// multiple on-device pages: it round-trips intact and charges the
+	// device for every page it touches.
 	env := sim.NewEnv()
 	pl := platform.New(env, platform.HC2())
 	dm := NewDiskManager(pl.Disk, 128)
+	img := make([]byte, 300) // 3 pages
+	for i := range img {
+		img[i] = byte(i)
+	}
+	id := dm.Allocate()
+	var narrow, wide sim.Duration
 	env.Spawn("io", func(p *sim.Proc) {
-		dm.Write(p, dm.Allocate(), make([]byte, 256))
+		t0 := p.Now()
+		dm.Write(p, dm.Allocate(), make([]byte, 100))
+		narrow = p.Now().Sub(t0)
+		t0 = p.Now()
+		dm.Write(p, id, img)
+		wide = p.Now().Sub(t0)
+		got := dm.Read(p, id)
+		if len(got) != len(img) {
+			t.Errorf("read %d bytes, want %d", len(got), len(img))
+		}
+		for i := range img {
+			if got[i] != img[i] {
+				t.Errorf("byte %d diverged", i)
+				break
+			}
+		}
 	})
-	if err := env.Run(); err == nil {
-		t.Fatal("expected oversize panic")
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.SpanBytes(300) != 3*128 {
+		t.Errorf("SpanBytes(300)=%d", dm.SpanBytes(300))
+	}
+	if wide <= narrow {
+		t.Errorf("3-page write (%v) not charged above 1-page write (%v)", wide, narrow)
 	}
 }

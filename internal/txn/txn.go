@@ -4,6 +4,13 @@
 // commit signal fires when the commit record is durable, so workers hand
 // off and move on — the paper's "software can continue with something else
 // rather than blocking").
+//
+// On a sharded log (wal.LogSet with one shard per socket) every data record
+// lands on the shard of the partition that produced it, the commit record
+// lands on the transaction's anchor shard, and the commit signal fires at
+// the vector durable point: only when every touched shard has reached the
+// transaction's horizon there. A single-shard log degenerates to the
+// classic central-log behavior exactly.
 package txn
 
 import (
@@ -40,6 +47,30 @@ type Txn struct {
 	State   State
 	Undo    []UndoRec
 	LastLSN wal.LSN
+	// Shards is the transaction's durability vector: the log shards its
+	// data records landed on, each with the horizon of its last record
+	// there, kept sorted by shard. Single-shard transactions (and every
+	// transaction on a central log) have at most one entry.
+	Shards []wal.ShardLSN
+}
+
+// note records that a data record reached horizon lsn on shard, keeping the
+// vector sorted by shard id (a pure function of the shards touched).
+func (tx *Txn) note(shard int, lsn wal.LSN) {
+	tx.LastLSN = lsn
+	for i, e := range tx.Shards {
+		if e.Shard == shard {
+			tx.Shards[i].LSN = lsn
+			return
+		}
+		if e.Shard > shard {
+			tx.Shards = append(tx.Shards, wal.ShardLSN{})
+			copy(tx.Shards[i+1:], tx.Shards[i:])
+			tx.Shards[i] = wal.ShardLSN{Shard: shard, LSN: lsn}
+			return
+		}
+	}
+	tx.Shards = append(tx.Shards, wal.ShardLSN{Shard: shard, LSN: lsn})
 }
 
 // Config tunes the CPU costs of transaction management (the Figure 3
@@ -55,10 +86,11 @@ func DefaultConfig() Config {
 	return Config{BeginInstr: 350, CommitInstr: 450, AbortInstr: 500}
 }
 
-// Manager hands out transactions and drives their lifecycle against a log.
+// Manager hands out transactions and drives their lifecycle against a log
+// set.
 type Manager struct {
 	cfg    Config
-	log    wal.Appender
+	log    *wal.LogSet
 	env    *sim.Env
 	nextID uint64
 
@@ -68,19 +100,31 @@ type Manager struct {
 }
 
 // NewManager creates a transaction manager appending to log.
-func NewManager(env *sim.Env, log wal.Appender, cfg Config) *Manager {
+func NewManager(env *sim.Env, log *wal.LogSet, cfg Config) *Manager {
 	return &Manager{cfg: cfg, log: log, env: env, nextID: 1}
 }
 
-// Begin starts a transaction, logging a BEGIN record.
+// LogSet returns the log set the manager appends to.
+func (m *Manager) LogSet() *wal.LogSet { return m.log }
+
+// Begin starts a transaction, logging a BEGIN record on the caller's shard.
+// Begin records are not part of the durability vector: recovery never needs
+// them, so losing one in a crash is harmless.
 func (m *Manager) Begin(t *platform.Task) *Txn {
 	m.begins++
 	tx := &Txn{ID: m.nextID, State: Active}
 	m.nextID++
 	t.Exec(stats.CompXct, m.cfg.BeginInstr)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecBegin}
-	tx.LastLSN = m.log.Append(t, &rec)
+	tx.LastLSN = m.log.Append(t, m.log.ShardFor(t), &rec)
 	return tx
+}
+
+// logData appends one data record on the caller's socket-local shard and
+// folds its horizon into the transaction's durability vector.
+func (m *Manager) logData(t *platform.Task, tx *Txn, rec *wal.Record) {
+	shard := m.log.ShardFor(t)
+	tx.note(shard, m.log.Append(t, shard, rec))
 }
 
 // LogInsert records an insert of key into table with the given post-image
@@ -88,7 +132,7 @@ func (m *Manager) Begin(t *platform.Task) *Txn {
 func (m *Manager) LogInsert(t *platform.Task, tx *Txn, table uint16, key, after []byte) {
 	m.mustBeActive(tx)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecInsert, Table: table, Key: key, After: after}
-	tx.LastLSN = m.log.Append(t, &rec)
+	m.logData(t, tx, &rec)
 	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecInsert, Key: key})
 }
 
@@ -96,7 +140,7 @@ func (m *Manager) LogInsert(t *platform.Task, tx *Txn, table uint16, key, after 
 func (m *Manager) LogUpdate(t *platform.Task, tx *Txn, table uint16, key, before, after []byte) {
 	m.mustBeActive(tx)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecUpdate, Table: table, Key: key, Before: before, After: after}
-	tx.LastLSN = m.log.Append(t, &rec)
+	m.logData(t, tx, &rec)
 	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecUpdate, Key: key, Before: before})
 }
 
@@ -104,30 +148,50 @@ func (m *Manager) LogUpdate(t *platform.Task, tx *Txn, table uint16, key, before
 func (m *Manager) LogDelete(t *platform.Task, tx *Txn, table uint16, key, before []byte) {
 	m.mustBeActive(tx)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecDelete, Table: table, Key: key, Before: before}
-	tx.LastLSN = m.log.Append(t, &rec)
+	m.logData(t, tx, &rec)
 	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecDelete, Key: key, Before: before})
 }
 
-// Commit appends the commit record and returns a signal that fires when it
-// is durable. The caller chooses whether to await it (synchronous commit
-// latency) or hand it to a terminal (lazy commit, the DORA pattern).
+// anchorShard is where a transaction's commit and abort records go: its
+// lowest touched data shard (deterministic in the shards touched), so the
+// commit record always follows the anchor's data records in that shard's
+// stream. A transaction that logged nothing anchors on the caller's shard.
+func (m *Manager) anchorShard(t *platform.Task, tx *Txn) int {
+	if len(tx.Shards) > 0 {
+		return tx.Shards[0].Shard
+	}
+	return m.log.ShardFor(t)
+}
+
+// Commit appends the commit record to the transaction's anchor shard and
+// returns a signal that fires at the vector durable point: when the commit
+// record and every shard's data records are durable. Cross-shard commit
+// records carry the shard vector so recovery can detect — and discard —
+// transactions whose durability vector did not fully survive a crash. The
+// caller chooses whether to await the signal (synchronous commit latency)
+// or hand it to a terminal (lazy commit, the DORA pattern).
 func (m *Manager) Commit(t *platform.Task, tx *Txn) *sim.Signal {
 	m.mustBeActive(tx)
 	m.commits++
 	t.Exec(stats.CompXct, m.cfg.CommitInstr)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecCommit}
-	lsn := m.log.Append(t, &rec)
-	tx.LastLSN = lsn
+	if len(tx.Shards) > 1 {
+		rec.After = wal.EncodeShardVec(nil, tx.Shards)
+	}
+	anchor := m.anchorShard(t, tx)
+	lsn := m.log.Append(t, anchor, &rec)
+	tx.note(anchor, lsn) // the anchor entry now covers the commit record
 	tx.State = Committed
 	tx.Undo = nil
 	done := sim.NewSignal(m.env)
-	m.log.CommitDurable(lsn, done)
+	m.log.CommitDurable(tx.Shards, done)
 	return done
 }
 
 // Abort rolls the transaction back: apply is called for each undo record in
 // reverse order (the engine routes it to the right table), then an ABORT
-// record is appended. Abort does not wait for durability.
+// record is appended to the anchor shard. Abort does not wait for
+// durability.
 func (m *Manager) Abort(t *platform.Task, tx *Txn, apply func(u UndoRec)) {
 	m.mustBeActive(tx)
 	m.aborts++
@@ -136,7 +200,7 @@ func (m *Manager) Abort(t *platform.Task, tx *Txn, apply func(u UndoRec)) {
 		apply(tx.Undo[i])
 	}
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecAbort}
-	tx.LastLSN = m.log.Append(t, &rec)
+	tx.LastLSN = m.log.Append(t, m.anchorShard(t, tx), &rec)
 	tx.State = Aborted
 	tx.Undo = nil
 }

@@ -15,7 +15,8 @@ func fixture() (*sim.Env, *platform.Platform, *wal.Store, *wal.Manager, *Manager
 	pl := platform.New(env, platform.HC2())
 	store := wal.NewStore(pl.SSD)
 	lm := wal.NewManager(pl, store, wal.DefaultManagerConfig())
-	tm := NewManager(env, lm, DefaultConfig())
+	ls := wal.NewLogSet(pl, []wal.LogShard{{App: lm, Store: store}})
+	tm := NewManager(env, ls, DefaultConfig())
 	return env, pl, store, lm, tm
 }
 
@@ -60,7 +61,7 @@ func TestCommitBecomesDurableAndLogged(t *testing.T) {
 		t.Fatal(err)
 	}
 	var types []wal.RecType
-	if err := wal.Scan(store.Data(), 0, func(r wal.Record) bool {
+	if err := wal.Scan(store.Bytes(), 0, func(r wal.Record) bool {
 		types = append(types, r.Type)
 		return true
 	}); err != nil {

@@ -8,30 +8,60 @@ import (
 
 // Store is the durable log file on the simulated SSD. Both the software log
 // manager and the hardware log-insertion path write through a Store, so
-// recovery is identical for every engine. Bytes in Data survive a "crash";
-// anything not yet written here is lost.
+// recovery is identical for every engine. Bytes returned by Bytes survive a
+// "crash"; anything not yet written here is lost.
 type Store struct {
-	dev  *platform.Device
-	data []byte
+	dev    *platform.Device
+	data   []byte
+	writes int64
 }
+
+// storeInitCap is the initial backing-buffer capacity of a written-to Store.
+const storeInitCap = 64 << 10
 
 // NewStore creates an empty durable log on dev.
 func NewStore(dev *platform.Device) *Store { return &Store{dev: dev} }
 
-// Write durably appends chunk, charging one device write of its size.
+// Write durably appends chunk, charging one device write of its size. The
+// backing buffer grows by explicit doubling (never by append's reallocation
+// heuristics), so a long run settles into a handful of copies total instead
+// of reallocating on the append path.
 func (s *Store) Write(p *sim.Proc, chunk []byte) {
 	if len(chunk) == 0 {
 		return
 	}
+	s.writes++
 	s.dev.Transfer(p, len(chunk))
+	if need := len(s.data) + len(chunk); need > cap(s.data) {
+		newCap := cap(s.data)
+		if newCap < storeInitCap {
+			newCap = storeInitCap
+		}
+		for newCap < need {
+			newCap *= 2
+		}
+		grown := make([]byte, len(s.data), newCap)
+		copy(grown, s.data)
+		s.data = grown
+	}
 	s.data = append(s.data, chunk...)
 }
 
 // Durable returns the LSN up to which the log is durable.
 func (s *Store) Durable() LSN { return LSN(len(s.data)) }
 
-// Data returns the durable log image (for recovery scans).
-func (s *Store) Data() []byte { return s.data }
+// Bytes returns the durable log image — what recovery scans. The slice is
+// the store's live backing array; callers must not mutate it.
+func (s *Store) Bytes() []byte { return s.data }
+
+// Len returns the durable log size in bytes.
+func (s *Store) Len() int { return len(s.data) }
+
+// Writes returns how many device writes (flushes/epochs) landed here.
+func (s *Store) Writes() int64 { return s.writes }
+
+// Device returns the device this store writes to.
+func (s *Store) Device() *platform.Device { return s.dev }
 
 // Appender is the log interface transactions use; the software Manager and
 // the hardware log engine both satisfy it.
@@ -160,6 +190,10 @@ func (m *Manager) Flushes() int64 { return m.flushes }
 
 // LatchWait returns cumulative time processes queued on the log latch.
 func (m *Manager) LatchWait() sim.Duration { return m.latch.WaitTime() }
+
+// ShardStats reports the software shard's sync count; a software log has no
+// arbitration epochs.
+func (m *Manager) ShardStats() (syncs, epochs int64) { return m.flushes, 0 }
 
 // Stop quiesces the flush daemon after the current pass; pending bytes are
 // flushed first.

@@ -1,0 +1,216 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+// ShardLSN names one log shard's durability horizon: records appended to
+// shard Shard are durable there once the shard's Durable() reaches LSN.
+// A transaction's durable point is a vector of these, one per shard it
+// logged to.
+type ShardLSN struct {
+	Shard int
+	LSN   LSN
+}
+
+// LogShard is one stream of the sharded log: an appender (software manager
+// or hardware log engine), its durable store, and the socket it serves.
+type LogShard struct {
+	App    Appender
+	Store  *Store
+	Socket int
+}
+
+// LogSet is the sharded durable log: one LogShard per socket (or exactly
+// one, the classic central log). It is the layer between transaction
+// management and the appenders — it routes appends to the caller's
+// socket-local shard and turns per-shard durability into the vector durable
+// point: a commit is durable only when every shard the transaction touched
+// has reached its vector entry.
+//
+// A single-shard LogSet adds nothing to the simulation: appends route to
+// shard 0 with no extra charges and durability waits pass straight through
+// to the one appender, so non-sharded runs are bit-identical to the
+// pre-LogSet code.
+type LogSet struct {
+	pl     *platform.Platform
+	shards []LogShard
+}
+
+// NewLogSet builds a log set over the given shards. Shard i must serve
+// socket i when there is more than one (appends route by the caller's
+// socket).
+func NewLogSet(pl *platform.Platform, shards []LogShard) *LogSet {
+	if len(shards) == 0 {
+		panic("wal: LogSet needs at least one shard")
+	}
+	for i, sh := range shards {
+		if len(shards) > 1 && sh.Socket != i {
+			panic(fmt.Sprintf("wal: shard %d serves socket %d; sharded sets must be socket-indexed", i, sh.Socket))
+		}
+	}
+	return &LogSet{pl: pl, shards: shards}
+}
+
+// NumShards returns the shard count.
+func (ls *LogSet) NumShards() int { return len(ls.shards) }
+
+// Shard returns shard i's appender.
+func (ls *LogSet) Shard(i int) Appender { return ls.shards[i].App }
+
+// Store returns shard i's durable store.
+func (ls *LogSet) Store(i int) *Store { return ls.shards[i].Store }
+
+// ShardFor returns the shard a task's appends route to: the task's socket
+// on a sharded set, shard 0 otherwise.
+func (ls *LogSet) ShardFor(t *platform.Task) int {
+	if len(ls.shards) == 1 {
+		return 0
+	}
+	return t.Core().SocketID()
+}
+
+// logMsgBytes is the modeled size of a remote log append descriptor: the
+// record header plus a pointer to the payload, one cache line.
+const logMsgBytes = 64
+
+// Append routes rec to the given shard, charging the caller's task. On a
+// sharded set an append to another socket's shard (a coordinator writing
+// its commit record to the transaction's anchor shard) additionally pays
+// one interconnect message to carry the record descriptor there;
+// socket-local appends — every data record, by construction — pay nothing
+// new.
+func (ls *LogSet) Append(t *platform.Task, shard int, rec *Record) LSN {
+	sh := ls.shards[shard]
+	if len(ls.shards) > 1 && ls.pl.IC != nil {
+		if from := t.Core().SocketID(); from != sh.Socket {
+			t.Flush()
+			ls.pl.IC.Transfer(t.P, from, sh.Socket, logMsgBytes)
+		}
+	}
+	return sh.App.Append(t, rec)
+}
+
+// Durable returns shard i's durable horizon.
+func (ls *LogSet) Durable(i int) LSN { return ls.shards[i].App.Durable() }
+
+// DurableVector returns every shard's current durable horizon.
+func (ls *LogSet) DurableVector() []LSN {
+	out := make([]LSN, len(ls.shards))
+	for i, sh := range ls.shards {
+		out[i] = sh.App.Durable()
+	}
+	return out
+}
+
+// CommitDurable fires done once every entry of vec is durable on its shard
+// — the vector durable point. A single-entry vector delegates directly to
+// the shard's appender (today's group-commit handshake, unchanged); a
+// multi-entry vector joins the per-shard completions with no extra
+// processes or events.
+func (ls *LogSet) CommitDurable(vec []ShardLSN, done *sim.Signal) {
+	if len(vec) == 0 {
+		done.Fire(nil) // nothing was logged; durable by definition
+		return
+	}
+	if len(vec) == 1 {
+		ls.shards[vec[0].Shard].App.CommitDurable(vec[0].LSN, done)
+		return
+	}
+	remaining := len(vec)
+	for _, e := range vec {
+		sub := sim.NewSignal(ls.pl.Env)
+		sub.OnFire(func(any) {
+			remaining--
+			if remaining == 0 {
+				done.Fire(nil)
+			}
+		})
+		ls.shards[e.Shard].App.CommitDurable(e.LSN, sub)
+	}
+}
+
+// Datas returns every shard's durable byte stream, shard-indexed — the
+// crash image recovery replays.
+func (ls *LogSet) Datas() [][]byte {
+	out := make([][]byte, len(ls.shards))
+	for i, sh := range ls.shards {
+		out[i] = sh.Store.Bytes()
+	}
+	return out
+}
+
+// StartLSNs returns every shard's current durable horizon as a checkpoint
+// start vector.
+func (ls *LogSet) StartLSNs() []LSN { return ls.DurableVector() }
+
+// shardStatser is implemented by appenders that report sync/epoch counts.
+type shardStatser interface {
+	ShardStats() (syncs, epochs int64)
+}
+
+// Stats reports per-shard cumulative activity counters (socket, durable
+// bytes, syncs, arbitration epochs).
+func (ls *LogSet) Stats() []stats.LogShardStats {
+	out := make([]stats.LogShardStats, len(ls.shards))
+	for i, sh := range ls.shards {
+		st := stats.LogShardStats{Shard: sh.Socket, Bytes: int64(sh.Store.Len())}
+		if ss, ok := sh.App.(shardStatser); ok {
+			st.Syncs, st.Epochs = ss.ShardStats()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// --- Shard vectors on commit records ---
+//
+// A cross-shard transaction's commit record carries its shard vector (the
+// durability horizon of its data records on every shard it wrote), encoded
+// in the record's After field. Recovery validates the vector against each
+// shard's recovered length: if any entry lies beyond what survived the
+// crash, the transaction was never acknowledged — its commit waited on the
+// vector durable point — and is treated as uncommitted. This is what lets
+// the prepare phase stay free: the phase RVPs already collected the votes,
+// and the vector makes partial durability detectable, so no per-shard
+// prepare record or extra log force is ever written.
+
+// shardVecEntrySize is the wire size of one vector entry: u16 shard + u64 LSN.
+const shardVecEntrySize = 10
+
+// EncodeShardVec appends the wire form of vec to dst, sorted by shard so
+// the bytes are a pure function of the vector's content.
+func EncodeShardVec(dst []byte, vec []ShardLSN) []byte {
+	sorted := make([]ShardLSN, len(vec))
+	copy(sorted, vec)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	for _, e := range sorted {
+		dst = append(dst, byte(e.Shard), byte(e.Shard>>8))
+		v := uint64(e.LSN)
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return dst
+}
+
+// DecodeShardVec parses a commit record's shard vector payload.
+func DecodeShardVec(b []byte) ([]ShardLSN, error) {
+	if len(b)%shardVecEntrySize != 0 {
+		return nil, fmt.Errorf("wal: shard vector payload of %d bytes", len(b))
+	}
+	out := make([]ShardLSN, 0, len(b)/shardVecEntrySize)
+	for off := 0; off < len(b); off += shardVecEntrySize {
+		shard := int(b[off]) | int(b[off+1])<<8
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(b[off+2+i]) << (8 * i)
+		}
+		out = append(out, ShardLSN{Shard: shard, LSN: LSN(v)})
+	}
+	return out, nil
+}

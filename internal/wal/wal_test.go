@@ -213,7 +213,7 @@ func TestEarlyFlushOnBytesThreshold(t *testing.T) {
 	}
 	// Verify the stream decodes.
 	n := 0
-	if err := Scan(store.Data(), 0, func(r Record) bool { n++; return true }); err != nil {
+	if err := Scan(store.Bytes(), 0, func(r Record) bool { n++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 10 {
