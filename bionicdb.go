@@ -21,6 +21,7 @@ import (
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
+	"bionicdb/internal/workload/htap"
 	"bionicdb/internal/workload/tatp"
 	"bionicdb/internal/workload/tpcc"
 	"bionicdb/internal/workload/ycsb"
@@ -283,6 +284,40 @@ type (
 
 // RecoveryTable renders recovery results as the fig-recovery table.
 func RecoveryTable(results []RecoveryResult) *stats.Table { return bench.RecoveryTable(results) }
+
+// HTAP sweeps (the fig-htap experiment).
+type (
+	// HTAPSweep declares the hybrid sweep: mixed transactional+analytical
+	// workloads on the conventional and bionic machines at every socket
+	// count, with the analytical half attached to each run.
+	HTAPSweep = bench.HTAPSpec
+	// HTAPWorkload is a hybrid workload: an OLTP mix plus analytical
+	// scans over columnar projections of the row store.
+	HTAPWorkload = htap.Mixed
+	// HTAPParams tunes the analytical half (scan clients per socket,
+	// host refresh cadence, scanner configuration).
+	HTAPParams = htap.Params
+)
+
+// DefaultHTAPParams returns the calibrated analytical parameters.
+func DefaultHTAPParams() HTAPParams { return htap.DefaultParams() }
+
+// NewHTAPYCSB creates the YCSB-backed hybrid workload: the OLTP mix plus
+// key-range scans over a columnar projection of the usertable.
+func NewHTAPYCSB(cfg YCSBConfig, p HTAPParams) *HTAPWorkload { return htap.NewYCSB(cfg, p) }
+
+// NewHTAPTPCC creates the TPC-C-backed hybrid workload (CH-benCHmark
+// style): the OLTP mix plus low-stock and revenue scans over columnar
+// projections of stock and order-line.
+func NewHTAPTPCC(cfg TPCCConfig, p HTAPParams) *HTAPWorkload { return htap.NewTPCC(cfg, p) }
+
+// HTAPEngines returns the fig-htap engine axis: conventional and the
+// fully-offloaded bionic engine.
+func HTAPEngines() []ScalingEngine { return bench.HTAPEngines() }
+
+// HTAPTable renders HTAP results as the fig-htap table: transactional
+// throughput and energy next to scan bandwidth and freshness.
+func HTAPTable(results []SweepResult) *stats.Table { return bench.HTAPTable(results) }
 
 // DefaultScalingEngines returns the standard scaling engine axis:
 // conventional, DORA, and the fully-offloaded bionic engine.

@@ -10,6 +10,8 @@
 //	bionicbench -saturation     C1: probe-engine outstanding-request sweep
 //	bionicbench -sweep          engine x workload (TATP, TPC-C, YCSB) grid
 //	bionicbench -fig-scaling    multi-socket weak scaling, 1 -> 16 sockets
+//	bionicbench -fig-htap       hybrid sweep: txn throughput vs scan
+//	                            bandwidth vs energy, conventional vs bionic
 //
 // Every measurement executes through the internal/bench sweep subsystem:
 // runs fan out across -parallel workers (default GOMAXPROCS), each in its
@@ -39,6 +41,7 @@ import (
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
 	"bionicdb/internal/storage"
+	"bionicdb/internal/workload/htap"
 	"bionicdb/internal/workload/tatp"
 	"bionicdb/internal/workload/tpcc"
 	"bionicdb/internal/workload/ycsb"
@@ -54,6 +57,7 @@ var (
 	sweepFlag   = flag.Bool("sweep", false, "run the engine x workload sweep grid")
 	figScaling  = flag.Bool("fig-scaling", false, "run the multi-socket scaling sweep (throughput + joules/txn vs sockets)")
 	figRecovery = flag.Bool("fig-recovery", false, "run the crash-recovery sweep (replay time + joules vs sockets)")
+	figHTAP     = flag.Bool("fig-htap", false, "run the HTAP sweep (txn throughput + scan bandwidth + freshness vs sockets, conventional vs bionic)")
 	shardedLog  = flag.Bool("sharded-log", false, "per-socket log shards: give every socket its own log stream and SSD (multi-socket only); -fig-scaling additionally runs the sharded axis next to the central baseline")
 	recJSON     = flag.String("recovery-json", "", "write -fig-recovery results as JSON to this file")
 	all         = flag.Bool("all", false, "run every experiment")
@@ -220,6 +224,10 @@ func main() {
 	}
 	if *all || *figRecovery {
 		timed("fig-recovery", runFigRecovery)
+		ran = true
+	}
+	if *all || *figHTAP {
+		timed("fig-htap", runFigHTAP)
 		ran = true
 	}
 	if !ran {
@@ -590,6 +598,45 @@ func runFigScaling() {
 	results := runPoints(points)
 	emit(fmt.Sprintf("fig-scaling: weak scaling over %v sockets (%s interconnect)",
 		socks, platform.HC2().ICTopology), bench.ScalingTable(results))
+}
+
+// runFigHTAP measures the hybrid story: the mixed workloads (TPC-C and
+// YCSB transactions with analytical range scans over columnar projections)
+// on the conventional and bionic machines at 1 -> 16 sockets. Weak scaling
+// like fig-scaling: terminals, TPC-C warehouses and YCSB records grow with
+// the machine. Sharded logs give the freshness vector one entry per
+// socket. The table reports transactional throughput and energy next to
+// scan bandwidth and staleness — the committed BENCH_htap.json baseline is
+// this experiment's -json output.
+func runFigHTAP() {
+	warmup, measure := windows()
+	socks := socketAxis()
+	var points []bench.Point
+	for _, n := range socks {
+		tpccCfg := tpccConfig()
+		tpccCfg.Warehouses *= n
+		ycsbCfg := ycsb.DefaultConfig()
+		ycsbCfg.Records = *records * n
+		spec := bench.HTAPSpec{
+			Sockets: []int{n},
+			Workloads: []bench.WorkloadSpec{
+				{Name: "htap-ycsb", Make: func() core.Workload {
+					return htap.NewYCSB(ycsbCfg, htap.DefaultParams())
+				}},
+				{Name: "htap-tpcc", Make: func() core.Workload {
+					return htap.NewTPCC(tpccCfg, htap.DefaultParams())
+				}},
+			},
+			TerminalsPerSocket: perSocketTerminals(),
+			ShardedLog:         true,
+			Seeds:              []uint64{*seed},
+			Warmup:             warmup, Measure: measure,
+		}
+		points = append(points, spec.Points()...)
+	}
+	results := runPoints(points)
+	emit(fmt.Sprintf("fig-htap: hybrid weak scaling over %v sockets, conventional vs bionic", socks),
+		bench.HTAPTable(results))
 }
 
 // runFigRecovery measures the durability subsystem's read side: crash a

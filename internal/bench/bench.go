@@ -112,6 +112,11 @@ type Point struct {
 	// platform config captured by Engine.Make.
 	ShardedLog bool
 
+	// HTAP attaches the workload as the run's analytical half (the
+	// workload must implement core.Analytics — the htap mixed workloads
+	// do). Plain OLTP points leave it false and run exactly as before.
+	HTAP bool
+
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Drain   sim.Duration
@@ -173,6 +178,11 @@ func (p Point) Run() Result {
 		Measure:   p.Measure,
 		Drain:     p.Drain,
 		Seed:      p.Seed,
+	}
+	if p.HTAP {
+		if a, ok := wl.(core.Analytics); ok {
+			cfg.Analytics = a
+		}
 	}
 	start := time.Now()
 	res, err := core.Run(cfg, wl, func(env *sim.Env) core.Engine {

@@ -8,6 +8,7 @@ import (
 
 	"bionicdb/internal/core"
 	"bionicdb/internal/sim"
+	"bionicdb/internal/workload/htap"
 	"bionicdb/internal/workload/tatp"
 	"bionicdb/internal/workload/tpcc"
 	"bionicdb/internal/workload/ycsb"
@@ -200,4 +201,18 @@ func TestJSONEmission(t *testing.T) {
 	if jr.Commits != results[0].Res.Commits || jr.TPS != results[0].Res.TPS {
 		t.Errorf("JSON numbers diverge from result: %+v vs %+v", jr, results[0].Res)
 	}
+}
+
+func smallHTAPYCSB() WorkloadSpec {
+	return WorkloadSpec{Name: "htap-ycsb", Make: func() core.Workload {
+		cfg := ycsb.WorkloadA()
+		cfg.Records = 2000
+		return htap.NewYCSB(cfg, htap.DefaultParams())
+	}}
+}
+
+func smallHTAPTPCC() WorkloadSpec {
+	return WorkloadSpec{Name: "htap-tpcc", Make: func() core.Workload {
+		return htap.NewTPCC(tpcc.SmallConfig(), htap.DefaultParams())
+	}}
 }

@@ -40,6 +40,11 @@ func Digest(results []Result) string {
 			// hash exactly as they always did.
 			fmt.Fprintf(h, "slog;")
 		}
+		if p.HTAP {
+			// Hybrid points carry the marker so an HTAP curve can never
+			// collide with its pure-OLTP twin.
+			fmt.Fprintf(h, "htap;")
+		}
 		if r.Err != nil {
 			fmt.Fprintf(h, "err=%s;", r.Err)
 			continue
@@ -70,6 +75,24 @@ func Digest(results []Result) string {
 		sort.Strings(names)
 		for _, n := range names {
 			fmt.Fprintf(h, "%s=%d;", n, res.TxnCounts[n])
+		}
+		if res.Scan != nil {
+			// The analytical half's window statistics, present only on
+			// HTAP runs — pure-OLTP results hash exactly as they always
+			// did.
+			sc := res.Scan
+			w64(uint64(sc.Scans))
+			w64(uint64(sc.Rows))
+			w64(uint64(sc.RowsOut))
+			w64(uint64(sc.Bytes))
+			w64(uint64(sc.ScanTime))
+			w64(uint64(sc.Refreshes))
+			w64(uint64(sc.RefreshRows))
+			w64(uint64(sc.StaleSum))
+			w64(uint64(sc.StaleMax))
+			w64(uint64(sc.GapMax))
+			w64(uint64(sc.LagBytesMax))
+			w64(uint64(sc.SnapViolations))
 		}
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))

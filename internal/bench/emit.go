@@ -60,8 +60,22 @@ type jsonResult struct {
 
 	TxnCounts map[string]int64 `json:"txn_counts,omitempty"`
 	LogShards []logShardJSON   `json:"log_shards,omitempty"`
+	Scan      *scanJSON        `json:"scan,omitempty"`
 	WallMs    float64          `json:"wall_ms"`
 	Error     string           `json:"error,omitempty"`
+}
+
+// scanJSON is the analytical half's window statistics in the JSON document,
+// present only on HTAP points.
+type scanJSON struct {
+	Scans          int64   `json:"scans"`
+	Rows           int64   `json:"rows"`
+	RowsOut        int64   `json:"rows_out"`
+	ScanMBps       float64 `json:"scan_mbps"`
+	StaleMaxUs     float64 `json:"stale_max_us"`
+	StaleMeanUs    float64 `json:"stale_mean_us"`
+	Refreshes      int64   `json:"refreshes"`
+	SnapViolations int64   `json:"snap_violations"`
 }
 
 // logShardJSON is one log shard's window counters in the JSON document.
@@ -126,6 +140,18 @@ func JSON(results []Result) ([]byte, error) {
 				jr.LogShards = append(jr.LogShards, logShardJSON{
 					Shard: sh.Shard, Bytes: sh.Bytes, Syncs: sh.Syncs, Epochs: sh.Epochs,
 				})
+			}
+			if sc := res.Scan; sc != nil {
+				jr.Scan = &scanJSON{
+					Scans:          sc.Scans,
+					Rows:           sc.Rows,
+					RowsOut:        sc.RowsOut,
+					ScanMBps:       float64(sc.Bytes) / 1e6 / p.Measure.Seconds(),
+					StaleMaxUs:     sc.StaleMax.Microseconds(),
+					StaleMeanUs:    sc.StaleMean().Microseconds(),
+					Refreshes:      sc.Refreshes,
+					SnapViolations: sc.SnapViolations,
+				}
 			}
 		}
 		doc.Results = append(doc.Results, jr)

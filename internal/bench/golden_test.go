@@ -100,3 +100,53 @@ func TestGoldenScalingDigest(t *testing.T) {
 		t.Errorf("parallel scaling digest diverged from serial:\n got  %s\n want %s", pd, got)
 	}
 }
+
+// goldenHTAPDigest pins the hybrid sweep bit for bit: conventional and
+// bionic at 1, 2 and 4 sockets on both mixed workloads, with the
+// analytical half attached — projection maintenance (host refresh vs
+// overlay merge-fed), scan scheduling, and the freshness metric are all
+// under this digest. This PR introduces the HTAP subsystem; goldenDigest
+// and goldenScalingDigest above are untouched by it (nil Analytics runs
+// are bit-identical to the pre-HTAP harness), which their tests prove.
+// Re-pin exactly as for goldenDigest.
+const goldenHTAPDigest = "4246c08b6a2de4e97f1d07f5ccff5e9fe3c9aea2e995aaa6ae4f9104b65b2397"
+
+// goldenHTAPSpec is the pinned hybrid grid.
+func goldenHTAPSpec() HTAPSpec {
+	return HTAPSpec{
+		Sockets:            []int{1, 2, 4},
+		Workloads:          []WorkloadSpec{smallHTAPYCSB(), smallHTAPTPCC()},
+		TerminalsPerSocket: 4,
+		ShardedLog:         true,
+		Seeds:              []uint64{42},
+		Warmup:             1 * sim.Millisecond,
+		Measure:            3 * sim.Millisecond,
+	}
+}
+
+// TestGoldenHTAPDigest proves hybrid runs are as reproducible as pure-OLTP
+// ones: the recorded digest holds, serial and parallel.
+func TestGoldenHTAPDigest(t *testing.T) {
+	points := goldenHTAPSpec().Points()
+	serial := Run(points, Options{Parallel: 1})
+	for _, r := range serial {
+		if r.Err != nil {
+			t.Fatalf("%s/%s/x%d failed: %v", r.Point.Workload.Name, r.Point.Engine.Name, r.Point.Sockets, r.Err)
+		}
+		if r.Res.Scan == nil || r.Res.Scan.Scans == 0 {
+			t.Errorf("%s/%s/x%d ran no analytical scans", r.Point.Workload.Name, r.Point.Engine.Name, r.Point.Sockets)
+		}
+		if r.Res.Scan != nil && r.Res.Scan.SnapViolations != 0 {
+			t.Errorf("%s/%s/x%d saw %d snapshot violations", r.Point.Workload.Name, r.Point.Engine.Name, r.Point.Sockets, r.Res.Scan.SnapViolations)
+		}
+	}
+	got := Digest(serial)
+	t.Logf("serial htap digest: %s", got)
+	if got != goldenHTAPDigest {
+		t.Errorf("htap digest diverged from golden:\n got  %s\n want %s", got, goldenHTAPDigest)
+	}
+	par := Run(points, Options{Parallel: 4})
+	if pd := Digest(par); pd != got {
+		t.Errorf("parallel htap sweep diverged from serial:\n got  %s\n want %s", pd, got)
+	}
+}

@@ -6,7 +6,10 @@
 package columnar
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"bionicdb/internal/platform"
 )
@@ -136,6 +139,38 @@ func (t *Table) Upsert(key uint64, vals ...any) {
 func (t *Table) Get(key uint64) (pos int, ok bool) {
 	pos, ok = t.keyIdx[key]
 	return pos, ok
+}
+
+// ContentDigest returns a SHA-256 over the table's logical content — every
+// column value in primary-key order — independent of physical row order.
+// Two tables built by different maintenance paths (incremental merge vs a
+// full rebuild) digest identically iff they hold the same rows, which is
+// what the HTAP equivalence tests pin.
+func (t *Table) ContentDigest() string {
+	keys := make([]uint64, 0, t.rows)
+	for k := range t.keyIdx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := sha256.New()
+	var b8 [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		h.Write(b8[:])
+	}
+	for _, k := range keys {
+		pos := t.keyIdx[k]
+		w64(k)
+		for _, c := range t.cols[1:] {
+			if c.Kind == KindUint64 {
+				w64(c.U64[pos])
+			} else {
+				w64(uint64(len(c.Byt[pos])))
+				h.Write(c.Byt[pos])
+			}
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // U64At reads a uint64 cell.

@@ -37,6 +37,10 @@ type RunConfig struct {
 	Drain sim.Duration
 	// Seed drives population and the transaction mix.
 	Seed uint64
+	// Analytics, when non-nil, attaches an analytical subsystem to the run
+	// (the HTAP mixed workloads). Nil leaves the run bit-identical to the
+	// pre-HTAP harness.
+	Analytics Analytics
 }
 
 // DefaultRunConfig returns a config suitable for the figure generators.
@@ -64,6 +68,10 @@ type Result struct {
 	// LogShards is per-log-shard activity in the window (bytes written,
 	// syncs, arbitration epochs per socket); one entry for a central log.
 	LogShards []stats.LogShardStats
+
+	// Scan is the analytical half's window statistics when the run attached
+	// an Analytics subsystem; nil on pure-OLTP runs.
+	Scan *stats.ScanStats
 }
 
 // logStatser is implemented by engines that report per-shard log counters.
@@ -120,6 +128,15 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		warmer.Warm()
 	}
 
+	// The analytical half attaches after population and warmup, before any
+	// terminal exists, on its own split stream: a nil Analytics consumes no
+	// randomness and schedules no events, keeping pure-OLTP runs
+	// bit-identical to the pre-HTAP harness.
+	var arun AnalyticsRun
+	if cfg.Analytics != nil {
+		arun = cfg.Analytics.Attach(env, eng, root.Split())
+	}
+
 	warmT := sim.Time(cfg.Warmup)
 	endT := warmT + sim.Time(cfg.Measure)
 
@@ -137,6 +154,7 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	var startSnap, endSnap platform.Snapshot
 	var startCommits, endCommits, startAborts, endAborts int64
 	var startLog, endLog []stats.LogShardStats
+	var startScan, endScan stats.ScanStats
 	env.At(warmT, func() {
 		startBD = *eng.Breakdown()
 		startSnap = pl.Snapshot()
@@ -144,6 +162,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		startAborts = eng.Counters().Get("aborts.user")
 		if ls, ok := eng.(logStatser); ok {
 			startLog = ls.LogStats()
+		}
+		if arun != nil {
+			startScan = arun.Snapshot()
 		}
 	})
 	env.At(endT, func() {
@@ -153,6 +174,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		endAborts = eng.Counters().Get("aborts.user")
 		if ls, ok := eng.(logStatser); ok {
 			endLog = ls.LogStats()
+		}
+		if arun != nil {
+			endScan = arun.Snapshot()
 		}
 	})
 
@@ -175,6 +199,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 			}
 		})
 	}
+	if arun != nil {
+		arun.Start(&stop)
+	}
 
 	if err := env.RunUntil(endT); err != nil {
 		return nil, err
@@ -189,6 +216,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	}
 	if err := env.RunUntil(endT + sim.Time(drain)); err != nil {
 		return nil, err
+	}
+	if arun != nil {
+		arun.Close()
 	}
 	eng.Close()
 	if err := env.Run(); err != nil {
@@ -208,6 +238,10 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		for i := range endLog {
 			res.LogShards = append(res.LogShards, endLog[i].Sub(startLog[i]))
 		}
+	}
+	if arun != nil {
+		sc := endScan.Sub(startScan)
+		res.Scan = &sc
 	}
 	return res, nil
 }

@@ -70,6 +70,12 @@ type Store struct {
 
 	tables map[uint16]*Table
 
+	// AfterMerge, when set, runs at the end of every bulk-merge pass —
+	// including passes that found nothing dirty — after the pass's device
+	// charges. The HTAP projection mirror uses it to charge its columnar
+	// write-back and stamp the projections' freshness each merge interval.
+	AfterMerge func(p *sim.Proc)
+
 	nextPage  storage.PageID
 	evicted   map[storage.PageID]bool
 	leafTouch map[storage.PageID]sim.Time // leaves only, last probe time
@@ -409,13 +415,15 @@ func (s *Store) mergeOnce(p *sim.Proc) {
 		}
 		budget -= len(keys)
 	}
-	if totalBytes == 0 {
-		return
+	if totalBytes != 0 {
+		// One coalesced sequential pass: read the batch from SG-DRAM, write
+		// one run to the database files (a single seek, not one per table).
+		s.pl.SGDRAM.Transfer(p, totalBytes)
+		s.pl.Disk.Transfer(p, totalBytes)
 	}
-	// One coalesced sequential pass: read the batch from SG-DRAM, write
-	// one run to the database files (a single seek, not one per table).
-	s.pl.SGDRAM.Transfer(p, totalBytes)
-	s.pl.Disk.Transfer(p, totalBytes)
+	if s.AfterMerge != nil {
+		s.AfterMerge(p)
+	}
 }
 
 // smallestDirty returns the budget lexicographically-smallest dirty keys

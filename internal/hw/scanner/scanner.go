@@ -111,6 +111,30 @@ func (e *Engine) SoftwareScan(t *platform.Task, table *columnar.Table, pred Pred
 	return out
 }
 
+// HostScan is the conventional machine's analytical path: the projection
+// lives in host DRAM, so nothing crosses PCIe — the CPU streams the rows
+// from memory and evaluates predicate and projection itself. It is a free
+// function rather than an Engine method because a conventional machine has
+// no scanner unit to idle (creating an Engine would charge phantom FPGA
+// power). It returns the same positions as Scan and SoftwareScan.
+func HostScan(t *platform.Task, pl *platform.Platform, table *columnar.Table, pred Pred, projCols []string, cfg Config) []int {
+	rows := table.Rows()
+	var out []int
+	for pos := 0; pos < rows; pos++ {
+		if pred == nil || pred(table, pos) {
+			out = append(out, pos)
+		}
+	}
+	// Plan/setup cost mirrors the hardware path's descriptor build, so an
+	// empty-table scan still advances simulated time.
+	t.Exec(stats.CompOther, 200)
+	t.Exec(stats.CompOther, rows*cfg.CPUPerRowInstr)
+	t.Flush()
+	// The swept rows stream from host memory at sequential bandwidth.
+	pl.HostDRAM.Transfer(t.P, rows*table.RowWidth())
+	return out
+}
+
 // Scans returns the number of hardware scans run.
 func (e *Engine) Scans() int64 { return e.scans }
 

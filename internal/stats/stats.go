@@ -368,6 +368,63 @@ func (s LogShardStats) Sub(o LogShardStats) LogShardStats {
 	return LogShardStats{Shard: s.Shard, Bytes: s.Bytes - o.Bytes, Syncs: s.Syncs - o.Syncs, Epochs: s.Epochs - o.Epochs}
 }
 
+// ScanStats is the analytical half's measurement surface: what the HTAP
+// scan clients observed over a run. Counter fields are cumulative event
+// counts; the *Max fields are run-cumulative maxima (a windowed Sub keeps
+// the end snapshot's maximum, since a maximum cannot be subtracted).
+//
+// Freshness is measured against the durability subsystem's vector durable
+// point: at every scan start the client reads the projection's snapshot
+// stamp (the time and per-shard LSN vector of the merge/refresh pass that
+// built it) and compares it with the machine's current durable vector.
+// SnapViolations counts scans whose snapshot vector exceeded the durable
+// vector — the invariant the freshness tests pin to zero.
+type ScanStats struct {
+	Scans    int64        // analytical scans issued
+	Rows     int64        // rows examined across scans
+	RowsOut  int64        // qualifying rows returned
+	Bytes    int64        // projection bytes swept (rows x projection row width)
+	ScanTime sim.Duration // summed scan latency
+
+	Refreshes   int64 // projection merge/refresh passes (freshness stamps)
+	RefreshRows int64 // rows re-extracted by the host refresh path (0 on the merge-fed path)
+
+	StaleSum       sim.Duration // summed snapshot staleness observed at scan start
+	StaleMax       sim.Duration // largest observed staleness
+	GapMax         sim.Duration // largest interval between consecutive freshness stamps
+	LagBytesMax    int64        // largest durable-vector lead over the snapshot vector, in log bytes
+	SnapViolations int64        // scans whose snapshot vector exceeded the durable vector
+}
+
+// Sub returns the windowed difference s - o: counters subtract, maxima keep
+// s's run-cumulative value.
+func (s ScanStats) Sub(o ScanStats) ScanStats {
+	return ScanStats{
+		Scans:    s.Scans - o.Scans,
+		Rows:     s.Rows - o.Rows,
+		RowsOut:  s.RowsOut - o.RowsOut,
+		Bytes:    s.Bytes - o.Bytes,
+		ScanTime: s.ScanTime - o.ScanTime,
+
+		Refreshes:   s.Refreshes - o.Refreshes,
+		RefreshRows: s.RefreshRows - o.RefreshRows,
+
+		StaleSum:       s.StaleSum - o.StaleSum,
+		StaleMax:       s.StaleMax,
+		GapMax:         s.GapMax,
+		LagBytesMax:    s.LagBytesMax,
+		SnapViolations: s.SnapViolations - o.SnapViolations,
+	}
+}
+
+// StaleMean returns the mean observed staleness, or 0 with no scans.
+func (s ScanStats) StaleMean() sim.Duration {
+	if s.Scans == 0 {
+		return 0
+	}
+	return sim.Duration(int64(s.StaleSum) / s.Scans)
+}
+
 // Counter is a named monotonic event counter set.
 type Counter struct {
 	m map[string]int64

@@ -1,0 +1,271 @@
+package htap
+
+import (
+	"fmt"
+	"testing"
+
+	"bionicdb/internal/btree"
+	"bionicdb/internal/core"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/storage"
+	"bionicdb/internal/wal"
+	"bionicdb/internal/workload/tpcc"
+	"bionicdb/internal/workload/ycsb"
+)
+
+func smallYCSBMixed() *Mixed {
+	cfg := ycsb.WorkloadA()
+	cfg.Records = 2000
+	return NewYCSB(cfg, DefaultParams())
+}
+
+func smallTPCCMixed() *Mixed {
+	return NewTPCC(tpcc.SmallConfig(), DefaultParams())
+}
+
+// runMixed runs one small hybrid measurement and returns the result, the
+// engine (still readable after the run; ScanRaw is untimed) and the mirror.
+func runMixed(t *testing.T, wl *Mixed, mk func(env *sim.Env, wl core.Workload) core.Engine) (*core.Result, core.Engine, *Run) {
+	t.Helper()
+	var eng core.Engine
+	cfg := core.RunConfig{
+		Terminals: 8,
+		Warmup:    1 * sim.Millisecond,
+		Measure:   5 * sim.Millisecond,
+		Seed:      42,
+		Analytics: wl,
+	}
+	res, err := core.Run(cfg, wl, func(env *sim.Env) core.Engine {
+		eng = mk(env, wl)
+		return eng
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := wl.LastRun()
+	if mr == nil {
+		t.Fatal("analytics never attached")
+	}
+	return res, eng, mr
+}
+
+func conventionalMk(env *sim.Env, wl core.Workload) core.Engine {
+	return core.NewConventional(env, platform.HC2(), wl.Tables())
+}
+
+func bionicMk(env *sim.Env, wl core.Workload) core.Engine {
+	return core.NewBionic(env, platform.HC2(), wl.Tables(), wl.Scheme(4), core.AllOffloads(), 8)
+}
+
+// engineCases are the two maintenance paths: host-refresh (conventional)
+// and merge-fed hardware (bionic).
+func engineCases() []struct {
+	name   string
+	mk     func(env *sim.Env, wl core.Workload) core.Engine
+	wantHW bool
+} {
+	return []struct {
+		name   string
+		mk     func(env *sim.Env, wl core.Workload) core.Engine
+		wantHW bool
+	}{
+		{"conventional", conventionalMk, false},
+		{"bionic", bionicMk, true},
+	}
+}
+
+// TestFreshnessInvariants pins the staleness contract on both maintenance
+// paths: every scan's observed snapshot vector is elementwise <= the
+// durable vector at scan start (zero violations — the projection never gets
+// ahead of durability), and observed staleness never exceeds twice the
+// maintenance interval (one interval of waiting plus one pass).
+func TestFreshnessInvariants(t *testing.T) {
+	for _, tc := range engineCases() {
+		for _, wl := range []*Mixed{smallYCSBMixed(), smallTPCCMixed()} {
+			t.Run(tc.name+"/"+wl.Name(), func(t *testing.T) {
+				res, _, mr := runMixed(t, wl, tc.mk)
+				if mr.HW() != tc.wantHW {
+					t.Fatalf("maintenance path hw=%v, want %v", mr.HW(), tc.wantHW)
+				}
+				if res.Scan == nil {
+					t.Fatal("Result.Scan is nil on an HTAP run")
+				}
+				if res.Scan.Scans == 0 {
+					t.Fatal("no scans completed inside the measurement window")
+				}
+				st := mr.Stats() // cumulative, covers warmup and drain too
+				if st.SnapViolations != 0 {
+					t.Errorf("%d snapshot-vector violations; scans saw state ahead of the durable point", st.SnapViolations)
+				}
+				if st.Refreshes < 2 {
+					t.Fatalf("only %d freshness stamps; maintenance path never ran", st.Refreshes)
+				}
+				if st.StaleMax > st.GapMax {
+					t.Errorf("max observed staleness %v exceeds max refresh gap %v", st.StaleMax, st.GapMax)
+				}
+				bound := 2 * (10 * sim.Millisecond) // interval + one pass, both paths refresh every 10ms
+				if st.GapMax > bound {
+					t.Errorf("max refresh gap %v exceeds staleness bound %v", st.GapMax, bound)
+				}
+			})
+		}
+	}
+}
+
+// TestScanEquivalenceAtQuiesce pins projection maintenance against a serial
+// rescan: after the run quiesces (final merge/refresh drain included), every
+// live projection must hold exactly the rows a fresh rebuild from the row
+// store produces — the incremental path loses nothing and invents nothing.
+func TestScanEquivalenceAtQuiesce(t *testing.T) {
+	for _, tc := range engineCases() {
+		for _, mkwl := range []func() *Mixed{smallYCSBMixed, smallTPCCMixed} {
+			wl := mkwl()
+			t.Run(tc.name+"/"+wl.Name(), func(t *testing.T) {
+				_, eng, mr := runMixed(t, wl, tc.mk)
+				env2 := sim.NewEnv()
+				defer env2.Close()
+				pl2 := platform.New(env2, platform.HC2())
+				for _, spec := range wl.Specs() {
+					live := mr.Projection(spec.Name)
+					rebuilt := BuildProjection(pl2, spec, func(fn func(k, v []byte) bool) {
+						eng.ScanRaw(spec.Table, nil, nil, fn)
+					})
+					if live.Rows() == 0 {
+						t.Errorf("%s: live projection is empty", spec.Name)
+					}
+					if got, want := live.ContentDigest(), rebuilt.ContentDigest(); got != want {
+						t.Errorf("%s: live projection diverged from serial rescan (%d vs %d rows)\n live    %s\n rescan  %s",
+							spec.Name, live.Rows(), rebuilt.Rows(), got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// checkpointable is the engine surface the crash variant needs (the same
+// contract bench's fig-recovery uses).
+type checkpointable interface {
+	core.Engine
+	Tables() map[uint16]*btree.Tree
+	DiskManager() *storage.DiskManager
+	LogSet() *wal.LogSet
+}
+
+// TestRecoveredProjectionsMatchRebuild is the crash variant: run the hybrid
+// workload on a sharded-log bionic machine, crash cold, recover serially
+// and in parallel (PR 5's RecoverMeasured), and prove the columnar
+// projections rebuilt from either recovered row store are byte-identical —
+// parallel shard replay changes nothing the analytics half can see.
+func TestRecoveredProjectionsMatchRebuild(t *testing.T) {
+	wl := smallYCSBMixed()
+	pcfg := platform.HC2Scaled(2)
+	pcfg.LogDevPerSocket = true
+
+	env := sim.NewEnv()
+	defer env.Close()
+	eng := core.NewBionic(env, pcfg, wl.Tables(), wl.Scheme(2*pcfg.Cores), core.AllOffloads(), 8)
+	ck, ok := interface{}(eng).(checkpointable)
+	if !ok {
+		t.Fatal("bionic engine is not checkpointable")
+	}
+	root := sim.NewRand(42)
+	wl.Populate(eng.Load, root.Split())
+	if warmer, ok := interface{}(eng).(interface{ Warm() }); ok {
+		warmer.Warm()
+	}
+
+	// Checkpoint sharp before any terminal exists (adaptive stepping: the
+	// checkpoint's simulated duration is not known up front and engine
+	// daemons tick forever).
+	var meta core.CheckpointMeta
+	ckDone := false
+	env.Spawn("checkpointer", func(p *sim.Proc) {
+		meta = core.CheckpointAll(p, ck.Tables(), ck.DiskManager(), ck.LogSet())
+		ckDone = true
+	})
+	step := sim.Time(1 * sim.Millisecond)
+	for !ckDone {
+		before := env.Executed()
+		if err := env.RunUntil(env.Now() + step); err != nil {
+			t.Fatal(err)
+		}
+		if env.Executed() == before {
+			step *= 2
+		} else {
+			step = sim.Time(1 * sim.Millisecond)
+		}
+	}
+
+	// Run the mixed load for a fixed window, then crash cold: no drain, no
+	// Close — staged log bytes die with the machine.
+	endT := env.Now() + sim.Time(6*sim.Millisecond)
+	for i := 0; i < 8; i++ {
+		i := i
+		tr := root.Split()
+		env.Spawn(fmt.Sprintf("terminal%d", i), func(tp *sim.Proc) {
+			term := &core.Terminal{ID: i, P: tp, Core: eng.Platform().Cores[i%len(eng.Platform().Cores)], R: tr}
+			for {
+				_, logic := wl.NextTxn(term.R)
+				eng.Submit(term, logic)
+			}
+		})
+	}
+	if err := env.RunUntil(endT); err != nil {
+		t.Fatal(err)
+	}
+	logs := ck.LogSet().Datas()
+	if len(logs) != 2 {
+		t.Fatalf("expected 2 log shards on a 2-socket sharded-log machine, got %d", len(logs))
+	}
+	defs := wl.Tables()
+
+	boot := func(parallel bool) map[uint16]*btree.Tree {
+		env2 := sim.NewEnv()
+		defer env2.Close()
+		pl2 := platform.New(env2, pcfg)
+		dm2 := ck.DiskManager().Rebind(pl2.Disk)
+		var trees map[uint16]*btree.Tree
+		var err error
+		env2.Spawn("recovery", func(p *sim.Proc) {
+			trees, _, err = core.RecoverMeasured(p, pl2, defs, meta, dm2, logs, parallel)
+		})
+		if runErr := env2.Run(); runErr != nil {
+			t.Fatal(runErr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trees
+	}
+	serialTrees := boot(false)
+	parTrees := boot(true)
+	if d1, d2 := core.ContentDigest(serialTrees), core.ContentDigest(parTrees); d1 != d2 {
+		t.Fatalf("serial and parallel replay diverged before projection: %s vs %s", d1, d2)
+	}
+
+	// Rebuild every projection from both recovered row stores and pin the
+	// columnar content digests identical.
+	env3 := sim.NewEnv()
+	defer env3.Close()
+	pl3 := platform.New(env3, platform.HC2())
+	fromTrees := func(trees map[uint16]*btree.Tree, spec ProjSpec, name string) string {
+		pt := newProjTable(pl3, ProjSpec{Table: spec.Table, Name: name, Key: spec.Key, Cols: spec.Cols})
+		trees[spec.Table].Scan(nil, nil, nil, func(k, v []byte) bool {
+			pt.apply(k, v)
+			return true
+		})
+		if pt.col.Rows() == 0 {
+			t.Errorf("%s: recovered projection is empty", name)
+		}
+		return pt.col.ContentDigest()
+	}
+	for i, spec := range wl.Specs() {
+		ser := fromTrees(serialTrees, spec, fmt.Sprintf("ser%d", i))
+		par := fromTrees(parTrees, spec, fmt.Sprintf("par%d", i))
+		if ser != par {
+			t.Errorf("%s: projection from serial-recovered store %s != parallel-recovered %s", spec.Name, ser, par)
+		}
+	}
+}
