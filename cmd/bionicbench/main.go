@@ -12,6 +12,10 @@
 //	bionicbench -fig-scaling    multi-socket weak scaling, 1 -> 16 sockets
 //	bionicbench -fig-htap       hybrid sweep: txn throughput vs scan
 //	                            bandwidth vs energy, conventional vs bionic
+//	bionicbench -fig-failover   replication sweep: steady-state commit tax
+//	                            per mode (async/sync/quorum), then a faulted
+//	                            primary kill and the replica's measured
+//	                            failover
 //
 // Every measurement executes through the internal/bench sweep subsystem:
 // runs fan out across -parallel workers (default GOMAXPROCS), each in its
@@ -21,7 +25,9 @@
 // core.Run-backed measurement of the invocation as structured JSON.
 // -sockets N runs the figure/sweep experiments on an N-socket machine
 // (and caps the -fig-scaling axis at N); the default 1 is the paper's
-// single-socket platform.
+// single-socket platform. -replication async|sync|quorum ships the log to
+// -replicas replica machines on every run-backed experiment, paying each
+// mode's commit-wait tax; the default off builds no replication machinery.
 package main
 
 import (
@@ -58,8 +64,12 @@ var (
 	figScaling  = flag.Bool("fig-scaling", false, "run the multi-socket scaling sweep (throughput + joules/txn vs sockets)")
 	figRecovery = flag.Bool("fig-recovery", false, "run the crash-recovery sweep (replay time + joules vs sockets)")
 	figHTAP     = flag.Bool("fig-htap", false, "run the HTAP sweep (txn throughput + scan bandwidth + freshness vs sockets, conventional vs bionic)")
+	figFailover = flag.Bool("fig-failover", false, "run the failover sweep (replication tax per mode, then a faulted primary kill and the replica's measured time-to-serving)")
 	shardedLog  = flag.Bool("sharded-log", false, "per-socket log shards: give every socket its own log stream and SSD (multi-socket only); -fig-scaling additionally runs the sharded axis next to the central baseline")
 	recJSON     = flag.String("recovery-json", "", "write -fig-recovery results as JSON to this file")
+	failJSON    = flag.String("failover-json", "", "write -fig-failover results as JSON to this file")
+	replication = flag.String("replication", "off", "log-shipping replication mode for the run-backed experiments: off|async|sync|quorum (-fig-failover sweeps all modes unless this narrows it)")
+	replicas    = flag.Int("replicas", 2, "replica machines when -replication is on")
 	all         = flag.Bool("all", false, "run every experiment")
 	quick       = flag.Bool("quick", false, "shrink scales for a fast run")
 	csv         = flag.Bool("csv", false, "emit CSV instead of tables")
@@ -230,6 +240,10 @@ func main() {
 		timed("fig-htap", runFigHTAP)
 		ran = true
 	}
+	if *all || *figFailover {
+		timed("fig-failover", runFigFailover)
+		ran = true
+	}
 	if !ran {
 		pprof.StopCPUProfile()
 		flag.Usage()
@@ -320,13 +334,27 @@ func ycsbSpec() bench.WorkloadSpec {
 	return bench.WorkloadSpec{Name: "ycsb", Make: func() core.Workload { return ycsb.New(cfg) }}
 }
 
+// replMode parses -replication, failing fast on an unknown mode.
+func replMode() stats.ReplMode {
+	m, err := stats.ParseReplMode(*replication)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
 // plCfg returns the platform configuration every run-backed experiment
-// builds engines on: the HC2 machine, scaled out when -sockets > 1 and log-
-// sharded when -sharded-log. At the default -sockets=1 it is byte-for-byte
-// the paper's machine (the sharded-log flag is inert on one socket).
+// builds engines on: the HC2 machine, scaled out when -sockets > 1, log-
+// sharded when -sharded-log, and replicated when -replication names a mode.
+// At the default flags it is byte-for-byte the paper's machine (the
+// sharded-log flag is inert on one socket; replication off builds nothing).
 func plCfg() *platform.Config {
 	cfg := platform.HC2Scaled(*sockets)
 	cfg.LogDevPerSocket = *shardedLog
+	if m := replMode(); m != stats.ReplNone {
+		cfg.Replicas = *replicas
+		cfg.ReplMode = m
+	}
 	return cfg
 }
 
@@ -388,6 +416,7 @@ func fig3() {
 	tpccCfg := tpccConfig()
 	g := bench.Grid{
 		Group:   "fig3",
+		Repl:    replMode(),
 		Engines: []bench.EngineSpec{bench.DORAOn(plCfg(), partitionCount())},
 		Workloads: []bench.WorkloadSpec{
 			{Name: "tatp-updsubdata", Make: func() core.Workload {
@@ -437,6 +466,7 @@ func fig4() {
 	} {
 		g := bench.Grid{
 			Group:     "fig4",
+			Repl:      replMode(),
 			Engines:   engineSet(),
 			Workloads: []bench.WorkloadSpec{wg.wl},
 			Terminals: []int{wg.terminals},
@@ -490,6 +520,7 @@ func runAblation() {
 	}
 	g := bench.Grid{
 		Group:     "ablation",
+		Repl:      replMode(),
 		Engines:   engines,
 		Workloads: []bench.WorkloadSpec{tatpSpec()},
 		Terminals: []int{*terminals},
@@ -522,6 +553,7 @@ func runSweep() {
 	}
 	g := bench.Grid{
 		Group:     "sweep",
+		Repl:      replMode(),
 		Engines:   engineSet(),
 		Workloads: []bench.WorkloadSpec{tatpSpec(), tpccSpec(), ycsbSpec()},
 		Terminals: []int{*terminals},
@@ -672,6 +704,55 @@ func runFigRecovery() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d recovery results to %s\n", len(results), *recJSON)
+	}
+}
+
+// runFigFailover measures the robustness story: ship the per-socket log
+// shards to replica machines under each commit-wait mode, price the mode in
+// steady state against the same-socket unreplicated baseline, then kill the
+// primary mid-measure under a seed-deterministic fault plan (link lag, a
+// partition window, a replica stall) and boot the replica through measured
+// parallel recovery. TPC-C is the workload, like fig-recovery: the
+// log-heavy benchmark is the one replication taxes hardest. -replication
+// narrows the mode axis to baseline-vs-that-mode; the default sweeps all
+// three modes. The committed BENCH_failover.json baseline is this
+// experiment's -failover-json output.
+func runFigFailover() {
+	warmup, measure := windows()
+	socks := bench.DefaultFailoverSockets()
+	if *sockets > 1 {
+		socks = socketAxis()
+	}
+	spec := bench.FailoverSpec{
+		Sockets:  socks,
+		Replicas: *replicas,
+		Workload: func(n int) bench.WorkloadSpec {
+			tpccCfg := tpccConfig()
+			tpccCfg.Warehouses *= n
+			return bench.WorkloadSpec{Name: "tpcc", Make: func() core.Workload { return tpcc.New(tpccCfg) }}
+		},
+		ShardedLog:         true,
+		TerminalsPerSocket: perSocketTerminals(),
+		Seed:               *seed,
+		Warmup:             warmup, Measure: measure,
+	}
+	if m := replMode(); m != stats.ReplNone {
+		spec.Modes = []stats.ReplMode{stats.ReplNone, m}
+	}
+	fo, steady := spec.RunFailover(bench.Options{Parallel: *parallel})
+	collected = append(collected, steady...)
+	for _, r := range fo {
+		if r.Err != nil {
+			fatal(r.Err)
+		}
+	}
+	emit(fmt.Sprintf("fig-failover: replication tax and measured failover over %v sockets, %d replicas",
+		socks, spec.Replicas), bench.FailoverTable(fo))
+	if *failJSON != "" {
+		if err := bench.WriteFailoverJSONFile(*failJSON, fo); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d failover results to %s\n", len(fo), *failJSON)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"bionicdb/internal/core"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
 )
 
 // EngineSpec names one engine constructor in the grid. Make is called once
@@ -85,6 +86,10 @@ type Grid struct {
 	Terminals []int
 	Seeds     []uint64
 
+	// Repl annotates every point with the log-replication mode the engine
+	// specs were built with (reporting metadata, like Point.Repl).
+	Repl stats.ReplMode
+
 	// Measurement windows shared by every point.
 	Warmup  sim.Duration
 	Measure sim.Duration
@@ -117,6 +122,12 @@ type Point struct {
 	// do). Plain OLTP points leave it false and run exactly as before.
 	HTAP bool
 
+	// Repl annotates the log-replication mode the engine spec was built
+	// with (stats.ReplNone = unreplicated). Reporting metadata like
+	// Sockets: the mode itself lives in the platform config captured by
+	// Engine.Make.
+	Repl stats.ReplMode
+
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Drain   sim.Duration
@@ -147,7 +158,7 @@ func (g *Grid) Points() []Point {
 				for _, seed := range seeds {
 					out = append(out, Point{
 						Index: len(out), Group: g.Group, Engine: eng, Workload: wl,
-						Terminals: t, Seed: seed,
+						Terminals: t, Seed: seed, Repl: g.Repl,
 						Warmup: warmup, Measure: measure, Drain: g.Drain,
 					})
 				}

@@ -45,6 +45,12 @@ func Digest(results []Result) string {
 			// collide with its pure-OLTP twin.
 			fmt.Fprintf(h, "htap;")
 		}
+		if p.Repl != stats.ReplNone {
+			// Replicated points carry the mode so a replicated curve can
+			// never collide with its unreplicated twin; unreplicated points
+			// hash exactly as they always did.
+			fmt.Fprintf(h, "repl=%s;", p.Repl)
+		}
 		if r.Err != nil {
 			fmt.Fprintf(h, "err=%s;", r.Err)
 			continue
@@ -93,6 +99,18 @@ func Digest(results []Result) string {
 			w64(uint64(sc.GapMax))
 			w64(uint64(sc.LagBytesMax))
 			w64(uint64(sc.SnapViolations))
+		}
+		// Per-shard shipping counters, present only on replicated runs —
+		// unreplicated results hash exactly as they always did.
+		for _, rp := range res.Repl {
+			w64(uint64(rp.Shard))
+			w64(uint64(rp.Mode))
+			w64(uint64(rp.ShippedBytes))
+			w64(uint64(rp.Ships))
+			w64(uint64(rp.AckRTTs))
+			w64(uint64(rp.LagBytesMax))
+			w64(uint64(rp.LagTimeSum))
+			w64(uint64(rp.LagTimeMax))
 		}
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))

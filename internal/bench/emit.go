@@ -43,6 +43,7 @@ type jsonResult struct {
 	Seed       uint64 `json:"seed"`
 	Sockets    int    `json:"sockets,omitempty"`
 	ShardedLog bool   `json:"sharded_log,omitempty"`
+	Repl       string `json:"replication,omitempty"`
 
 	WarmupMs  float64 `json:"warmup_ms"`
 	MeasureMs float64 `json:"measure_ms"`
@@ -61,8 +62,21 @@ type jsonResult struct {
 	TxnCounts map[string]int64 `json:"txn_counts,omitempty"`
 	LogShards []logShardJSON   `json:"log_shards,omitempty"`
 	Scan      *scanJSON        `json:"scan,omitempty"`
+	ReplStats []replShardJSON  `json:"repl_shards,omitempty"`
 	WallMs    float64          `json:"wall_ms"`
 	Error     string           `json:"error,omitempty"`
+}
+
+// replShardJSON is one log shard's window shipping counters in the JSON
+// document, present only on replicated points.
+type replShardJSON struct {
+	Shard         int     `json:"shard"`
+	ShippedBytes  int64   `json:"shipped_bytes"`
+	Ships         int64   `json:"ships"`
+	AckRTTs       int64   `json:"ack_rtts"`
+	LagBytesMax   int64   `json:"lag_bytes_max"`
+	LagTimeMaxUs  float64 `json:"lag_time_max_us"`
+	LagTimeMeanUs float64 `json:"lag_time_mean_us"`
 }
 
 // scanJSON is the analytical half's window statistics in the JSON document,
@@ -86,6 +100,15 @@ type logShardJSON struct {
 	Epochs int64 `json:"epochs,omitempty"`
 }
 
+// replLabel renders the replication mode for JSON: empty when off, so the
+// field is omitted and unreplicated documents keep their exact shape.
+func replLabel(m stats.ReplMode) string {
+	if m == stats.ReplNone {
+		return ""
+	}
+	return m.String()
+}
+
 // jsonDoc is the emitted document shape.
 type jsonDoc struct {
 	Suite   string       `json:"suite"`
@@ -105,6 +128,9 @@ func JSON(results []Result) ([]byte, error) {
 		if p.ShardedLog {
 			name += "/slog"
 		}
+		if p.Repl != 0 {
+			name += "/" + p.Repl.String()
+		}
 		if p.Group != "" {
 			name = p.Group + "/" + name
 		}
@@ -117,6 +143,7 @@ func JSON(results []Result) ([]byte, error) {
 			Seed:       p.Seed,
 			Sockets:    p.Sockets,
 			ShardedLog: p.ShardedLog,
+			Repl:       replLabel(p.Repl),
 			WarmupMs:   p.Warmup.Seconds() * 1e3,
 			MeasureMs:  p.Measure.Seconds() * 1e3,
 			WallMs:     float64(r.Wall.Nanoseconds()) / 1e6,
@@ -139,6 +166,17 @@ func JSON(results []Result) ([]byte, error) {
 			for _, sh := range res.LogShards {
 				jr.LogShards = append(jr.LogShards, logShardJSON{
 					Shard: sh.Shard, Bytes: sh.Bytes, Syncs: sh.Syncs, Epochs: sh.Epochs,
+				})
+			}
+			for _, rp := range res.Repl {
+				jr.ReplStats = append(jr.ReplStats, replShardJSON{
+					Shard:         rp.Shard,
+					ShippedBytes:  rp.ShippedBytes,
+					Ships:         rp.Ships,
+					AckRTTs:       rp.AckRTTs,
+					LagBytesMax:   rp.LagBytesMax,
+					LagTimeMaxUs:  rp.LagTimeMax.Microseconds(),
+					LagTimeMeanUs: rp.LagTimeMean().Microseconds(),
 				})
 			}
 			if sc := res.Scan; sc != nil {

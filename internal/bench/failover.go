@@ -1,0 +1,482 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bionicdb/internal/core"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/wal"
+)
+
+// FailoverSpec declares the fig-failover experiment. Each (sockets, mode)
+// point measures two things. First, steady state: a normal measured run
+// with the log shipped to replica machines under the mode, so the table
+// shows what each commit-wait discipline costs in latency and throughput
+// against the unreplicated baseline. Second, failover: a crash-harness run
+// with a seed-deterministic fault plan — link-lag and partition windows, a
+// replica stall, then a primary kill mid-measure — after which the replica
+// boots through the measured parallel-recovery path. The figure is the
+// replication tax versus what it buys: time-to-serving and how many
+// acknowledged transactions survive per mode.
+type FailoverSpec struct {
+	// Sockets are the socket counts to measure (default 1, 2, 4).
+	Sockets []int
+	// Modes are the replication modes to measure; ReplNone rows are
+	// steady-state baselines only (default none, async, sync, quorum).
+	Modes []stats.ReplMode
+	// Replicas is the replica machine count (default 2: sync waits both,
+	// quorum needs one — the modes separate).
+	Replicas int
+	// Workload builds the (socket-scaled) workload for one point; required.
+	Workload func(sockets int) WorkloadSpec
+	// Engine builds the engine under test (default DORA). Must be
+	// checkpointable and replicated for the failover phase.
+	Engine func(cfg *platform.Config, partitions, window int) EngineSpec
+	// ShardedLog gives the machine per-socket log devices.
+	ShardedLog bool
+
+	// TerminalsPerSocket is the offered load (default 32).
+	TerminalsPerSocket int
+	// PartitionsPerSocket is the DORA partition count per socket (default:
+	// cores per socket).
+	PartitionsPerSocket int
+	// Window is the bionic in-flight window (default 8).
+	Window int
+	// Detect is the modeled failure-detector delay before the replica
+	// starts recovery (default core.DefaultDetect).
+	Detect sim.Duration
+	// NoFaultWindows drops the lag/partition/stall windows from the fault
+	// plan, leaving only the primary kill (the windows are on by default —
+	// the fault machinery should be exercised by the figure it exists for).
+	NoFaultWindows bool
+
+	Seed    uint64
+	Warmup  sim.Duration
+	Measure sim.Duration
+}
+
+// FailoverResult is one (sockets, mode) measurement.
+type FailoverResult struct {
+	Sockets    int
+	Shards     int
+	Mode       stats.ReplMode
+	Replicas   int
+	ShardedLog bool
+	Engine     string
+	Workload   string
+
+	// Steady state (measured run with replication attached).
+	TPS          float64
+	P50, P95     sim.Duration
+	OverheadP50  float64 // p50 ratio vs the same-socket ReplNone row (1 = free; 0 on baselines)
+	ShippedBytes int64   // window bytes shipped, summed over shards and replicas
+	LagBytesMax  int64   // largest observed ship lag across shards
+	AckRTTs      int64   // window ack round trips
+
+	// Failover (replicated modes; zero on ReplNone baselines).
+	KillAt        sim.Duration // kill instant, relative to terminal start
+	CommitsAcked  int64        // transactions acknowledged before the kill
+	TxnsRecovered int64        // committed transactions replayed on the replica
+	LostTxns      int64        // acknowledged commits the replica could not recover
+	LostTailBytes int64        // primary-durable bytes no replica had persisted
+	ReplicaBytes  int64        // surviving log bytes (longest copy per shard)
+	RestoreSim    sim.Duration // checkpoint restore on the replica boot
+	ReplaySim     sim.Duration // parallel log replay on the replica boot
+	TimeToServing sim.Duration // detect + restore + replay
+	DigestOK      bool         // replica content == recovery of the primary's shipped prefix
+
+	Err error
+}
+
+// replicated is the engine surface the failover harness needs beyond
+// checkpointable.
+type replicated interface {
+	Replicator() *wal.ReplicaSet
+}
+
+// DefaultFailoverSockets returns the default socket axis.
+func DefaultFailoverSockets() []int { return []int{1, 2, 4} }
+
+// DefaultFailoverModes returns the default mode axis.
+func DefaultFailoverModes() []stats.ReplMode {
+	return []stats.ReplMode{stats.ReplNone, stats.ReplAsync, stats.ReplSync, stats.ReplQuorum}
+}
+
+// RunFailover executes the spec, fanning points out across the worker pool;
+// every point runs its steady-state and crash phases in private
+// environments, so parallel execution is bit-identical to serial. It
+// returns the per-point failover measurements plus the steady-state sweep
+// results (for the shared JSON/digest pipeline).
+func (s FailoverSpec) RunFailover(opt Options) ([]FailoverResult, []Result) {
+	sockets := s.Sockets
+	if len(sockets) == 0 {
+		sockets = DefaultFailoverSockets()
+	}
+	modes := s.Modes
+	if len(modes) == 0 {
+		modes = DefaultFailoverModes()
+	}
+	replicas := s.Replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	engine := s.Engine
+	if engine == nil {
+		engine = func(cfg *platform.Config, partitions, window int) EngineSpec {
+			return DORAOn(cfg, partitions)
+		}
+	}
+	tps := s.TerminalsPerSocket
+	if tps <= 0 {
+		tps = 32
+	}
+	window := s.Window
+	if window <= 0 {
+		window = 8
+	}
+	detect := s.Detect
+	if detect <= 0 {
+		detect = core.DefaultDetect
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = core.DefaultRunConfig().Seed
+	}
+	warmup, measure := s.Warmup, s.Measure
+	if warmup <= 0 {
+		warmup = core.DefaultRunConfig().Warmup
+	}
+	if measure <= 0 {
+		measure = core.DefaultRunConfig().Measure
+	}
+
+	type pt struct {
+		sockets int
+		mode    stats.ReplMode
+	}
+	var pts []pt
+	for _, n := range sockets {
+		for _, m := range modes {
+			pts = append(pts, pt{n, m})
+		}
+	}
+	out := make([]FailoverResult, len(pts))
+	steady := make([]Result, len(pts))
+	ForEach(len(pts), opt.Parallel, func(i int) {
+		n, mode := pts[i].sockets, pts[i].mode
+		cfg := platform.HC2Scaled(n)
+		cfg.LogDevPerSocket = s.ShardedLog
+		if mode != stats.ReplNone {
+			cfg.Replicas = replicas
+			cfg.ReplMode = mode
+		}
+		pps := s.PartitionsPerSocket
+		if pps <= 0 {
+			pps = cfg.Cores
+		}
+		wl := s.Workload(n)
+		spec := engine(cfg, pps*n, window)
+		out[i], steady[i] = runFailoverPoint(cfg, spec, wl, mode,
+			tps*n, seed, warmup, measure, detect, !s.NoFaultWindows)
+		out[i].Sockets = n
+		out[i].ShardedLog = cfg.ShardedLog()
+		out[i].Replicas = cfg.Replicas
+		if opt.OnResult != nil {
+			opt.OnResult(Result{Point: Point{Index: i, Group: "fig-failover"}})
+		}
+	})
+	// Overhead against the same-socket unreplicated baseline — host-side
+	// arithmetic over the finished grid, identical in any execution order.
+	for i := range out {
+		if out[i].Mode == stats.ReplNone || out[i].Err != nil {
+			continue
+		}
+		for j := range out {
+			if out[j].Sockets == out[i].Sockets && out[j].Mode == stats.ReplNone &&
+				out[j].Err == nil && out[j].P50 > 0 {
+				out[i].OverheadP50 = float64(out[i].P50) / float64(out[j].P50)
+				break
+			}
+		}
+	}
+	return out, steady
+}
+
+// runFailoverPoint measures one (config, mode): a steady-state run, then —
+// for replicated modes — a faulted crash run and the replica's failover
+// boot.
+func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, mode stats.ReplMode,
+	terminals int, seed uint64, warmup, measure sim.Duration, detect sim.Duration, windows bool) (FailoverResult, Result) {
+	res := FailoverResult{Engine: spec.Name, Workload: wlSpec.Name, Mode: mode, DigestOK: true}
+
+	// --- Steady state: the replication tax under normal operation.
+	p := Point{
+		Group: "fig-failover", Engine: spec, Workload: wlSpec,
+		Terminals: terminals, Seed: seed,
+		Sockets: cfg.NumSockets(), ShardedLog: cfg.ShardedLog(), Repl: mode,
+		Warmup: warmup, Measure: measure,
+	}
+	sr := p.Run()
+	if sr.Err != nil {
+		res.Err = sr.Err
+		return res, sr
+	}
+	res.TPS = sr.Res.TPS
+	res.P50 = sr.Res.Latency.Percentile(50)
+	res.P95 = sr.Res.Latency.Percentile(95)
+	for _, rst := range sr.Res.Repl {
+		res.ShippedBytes += rst.ShippedBytes
+		res.AckRTTs += rst.AckRTTs
+		if rst.LagBytesMax > res.LagBytesMax {
+			res.LagBytesMax = rst.LagBytesMax
+		}
+	}
+	if mode == stats.ReplNone {
+		return res, sr
+	}
+
+	// --- Crash phase: populate, checkpoint sharp, run under the fault
+	// plan, stop the world at the primary kill.
+	env := sim.NewEnv()
+	defer env.Close()
+	wl := wlSpec.Make()
+	eng := spec.Make(env, wl)
+	ck, ok := eng.(checkpointable)
+	if !ok {
+		res.Err = fmt.Errorf("engine %s is not checkpointable", spec.Name)
+		return res, sr
+	}
+	repl, ok := eng.(replicated)
+	if !ok || repl.Replicator() == nil {
+		res.Err = fmt.Errorf("engine %s built no replication machinery", spec.Name)
+		return res, sr
+	}
+	rs := repl.Replicator()
+	root := sim.NewRand(seed)
+	wl.Populate(eng.Load, root.Split())
+	faultR := root.Split()
+	if warmer, ok := eng.(interface{ Warm() }); ok {
+		warmer.Warm()
+	}
+	// Checkpoint sharp before any terminal exists (see runRecoveryPoint for
+	// the adaptive stepping rationale).
+	var meta core.CheckpointMeta
+	ckDone := false
+	env.Spawn("checkpointer", func(p *sim.Proc) {
+		meta = core.CheckpointAll(p, ck.Tables(), ck.DiskManager(), ck.LogSet())
+		ckDone = true
+	})
+	step := sim.Time(1 * sim.Millisecond)
+	for !ckDone {
+		before := env.Executed()
+		if err := env.RunUntil(env.Now() + step); err != nil {
+			res.Err = err
+			return res, sr
+		}
+		if env.Executed() == before {
+			step *= 2
+		} else {
+			step = sim.Time(1 * sim.Millisecond)
+		}
+	}
+	// The fault plan covers the measurement window; its kill is the run's
+	// stopping point and its windowed faults drive the ReplicaSet hooks.
+	startT := env.Now()
+	plan := sim.NewFaultPlan(faultR, startT.Add(warmup), startT.Add(warmup).Add(measure), rs.Replicas(), windows)
+	plan.Schedule(env,
+		func(f sim.Fault) {
+			switch f.Kind {
+			case sim.FaultLinkLag:
+				rs.SetLagFactor(f.Factor)
+			case sim.FaultLinkPartition:
+				rs.SetLinkDown(true)
+			case sim.FaultReplicaStall:
+				rs.SetStalled(f.Replica, true)
+			}
+		},
+		func(f sim.Fault) {
+			switch f.Kind {
+			case sim.FaultLinkLag:
+				rs.SetLagFactor(1)
+			case sim.FaultLinkPartition:
+				rs.SetLinkDown(false)
+			case sim.FaultReplicaStall:
+				rs.SetStalled(f.Replica, false)
+			}
+		})
+	for i := 0; i < terminals; i++ {
+		i := i
+		tr := root.Split()
+		env.Spawn(fmt.Sprintf("terminal%d", i), func(tp *sim.Proc) {
+			term := &core.Terminal{ID: i, P: tp, Core: eng.Platform().Cores[i%len(eng.Platform().Cores)], R: tr}
+			for {
+				_, logic := wl.NextTxn(term.R)
+				eng.Submit(term, logic)
+			}
+		})
+	}
+	killT, _ := plan.KillTime()
+	if err := env.RunUntil(killT); err != nil {
+		res.Err = err
+		return res, sr
+	}
+	res.KillAt = killT.Sub(startT)
+	res.CommitsAcked = eng.Counters().Get("commits")
+	primary := ck.LogSet().Datas()
+	replicaLogs, replicaBytes, lostTail := rs.CrashImage()
+	res.Shards = len(replicaLogs)
+	res.ReplicaBytes = replicaBytes
+	res.LostTailBytes = lostTail
+	// Every replica copy must be a literal byte prefix of its primary
+	// shard — the property the whole failover guarantee rests on.
+	truncated := make([][]byte, len(primary))
+	for s := range primary {
+		if len(replicaLogs[s]) > len(primary[s]) || !bytes.Equal(replicaLogs[s], primary[s][:len(replicaLogs[s])]) {
+			res.Err = fmt.Errorf("shard %d replica copy is not a prefix of the primary stream", s)
+			return res, sr
+		}
+		truncated[s] = primary[s][:len(replicaLogs[s])]
+	}
+	defs := wl.Tables()
+
+	// --- Failover: boot the replica through measured parallel recovery.
+	trees, fst, err := core.Failover(cfg, defs, meta, ck.DiskManager(), replicaLogs, detect, true)
+	if err != nil {
+		res.Err = err
+		return res, sr
+	}
+	res.TxnsRecovered = fst.Recovery.Txns
+	if lost := res.CommitsAcked - res.TxnsRecovered; lost > 0 {
+		res.LostTxns = lost
+	}
+	res.RestoreSim = fst.Recovery.Restore
+	res.ReplaySim = fst.Recovery.Replay
+	res.TimeToServing = fst.TimeToServing
+	_ = trees
+
+	// Oracle: recovering the primary's shipped prefix directly must yield
+	// the same content digest the replica serves.
+	_, ofst, err := core.Failover(cfg, defs, meta, ck.DiskManager(), truncated, 0, true)
+	if err != nil {
+		res.Err = err
+		return res, sr
+	}
+	res.DigestOK = fst.Digest == ofst.Digest
+	if !res.DigestOK {
+		res.Err = fmt.Errorf("replica content diverged from the primary's shipped prefix: %s vs %s", fst.Digest, ofst.Digest)
+	}
+	return res, sr
+}
+
+// FailoverTable renders failover results as the fig-failover table.
+func FailoverTable(results []FailoverResult) *stats.Table {
+	t := stats.NewTable("workload", "engine", ">sockets", "mode",
+		">tps", ">p50", ">p95", ">tax", ">acked", ">recovered", ">lost", ">lost KB", ">serving")
+	for _, r := range results {
+		if r.Err != nil {
+			t.Row(r.Workload, r.Engine, fmt.Sprintf("%d", r.Sockets), r.Mode.String(),
+				"error: "+r.Err.Error(), "", "", "", "", "", "", "", "")
+			continue
+		}
+		tax, acked, rec, lost, lostKB, serving := "", "", "", "", "", ""
+		if r.Mode != stats.ReplNone {
+			tax = fmt.Sprintf("%.2fx", r.OverheadP50)
+			acked = fmt.Sprintf("%d", r.CommitsAcked)
+			rec = fmt.Sprintf("%d", r.TxnsRecovered)
+			lost = fmt.Sprintf("%d", r.LostTxns)
+			lostKB = fmt.Sprintf("%.1f", float64(r.LostTailBytes)/1024)
+			serving = r.TimeToServing.String()
+		}
+		t.Row(r.Workload, r.Engine, fmt.Sprintf("%d", r.Sockets), r.Mode.String(),
+			fmt.Sprintf("%.0f", r.TPS), r.P50.String(), r.P95.String(),
+			tax, acked, rec, lost, lostKB, serving)
+	}
+	return t
+}
+
+// failoverJSON is the flat per-point record of the failover JSON document.
+type failoverJSON struct {
+	Name          string  `json:"name"`
+	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"`
+	Sockets       int     `json:"sockets"`
+	Shards        int     `json:"shards,omitempty"`
+	Mode          string  `json:"replication"`
+	Replicas      int     `json:"replicas,omitempty"`
+	ShardedLog    bool    `json:"sharded_log,omitempty"`
+	TPS           float64 `json:"tps"`
+	P50us         float64 `json:"p50_us"`
+	P95us         float64 `json:"p95_us"`
+	OverheadP50   float64 `json:"p50_overhead,omitempty"`
+	ShippedBytes  int64   `json:"shipped_bytes,omitempty"`
+	LagBytesMax   int64   `json:"lag_bytes_max,omitempty"`
+	AckRTTs       int64   `json:"ack_rtts,omitempty"`
+	KillAtUs      float64 `json:"kill_at_us,omitempty"`
+	CommitsAcked  int64   `json:"commits_acked,omitempty"`
+	TxnsRecovered int64   `json:"txns_recovered,omitempty"`
+	LostTxns      int64   `json:"lost_txns"`
+	LostTailBytes int64   `json:"lost_tail_bytes"`
+	ReplicaBytes  int64   `json:"replica_bytes,omitempty"`
+	RestoreUs     float64 `json:"restore_us,omitempty"`
+	ReplayUs      float64 `json:"replay_us,omitempty"`
+	ServingUs     float64 `json:"time_to_serving_us,omitempty"`
+	DigestOK      bool    `json:"digest_ok"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// FailoverJSON marshals failover results as an indented
+// BENCH_failover.json-style document.
+func FailoverJSON(results []FailoverResult) ([]byte, error) {
+	doc := struct {
+		Suite   string         `json:"suite"`
+		Results []failoverJSON `json:"results"`
+	}{Suite: "bionicbench-failover"}
+	for _, r := range results {
+		jr := failoverJSON{
+			Name:          fmt.Sprintf("fig-failover/%s/%s/x%d/%s", r.Workload, r.Engine, r.Sockets, r.Mode),
+			Workload:      r.Workload,
+			Engine:        r.Engine,
+			Sockets:       r.Sockets,
+			Shards:        r.Shards,
+			Mode:          r.Mode.String(),
+			Replicas:      r.Replicas,
+			ShardedLog:    r.ShardedLog,
+			TPS:           r.TPS,
+			P50us:         r.P50.Microseconds(),
+			P95us:         r.P95.Microseconds(),
+			OverheadP50:   r.OverheadP50,
+			ShippedBytes:  r.ShippedBytes,
+			LagBytesMax:   r.LagBytesMax,
+			AckRTTs:       r.AckRTTs,
+			KillAtUs:      r.KillAt.Microseconds(),
+			CommitsAcked:  r.CommitsAcked,
+			TxnsRecovered: r.TxnsRecovered,
+			LostTxns:      r.LostTxns,
+			LostTailBytes: r.LostTailBytes,
+			ReplicaBytes:  r.ReplicaBytes,
+			RestoreUs:     r.RestoreSim.Microseconds(),
+			ReplayUs:      r.ReplaySim.Microseconds(),
+			ServingUs:     r.TimeToServing.Microseconds(),
+			DigestOK:      r.DigestOK,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		doc.Results = append(doc.Results, jr)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// WriteFailoverJSONFile writes the failover document to path.
+func WriteFailoverJSONFile(path string, results []FailoverResult) error {
+	b, err := FailoverJSON(results)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

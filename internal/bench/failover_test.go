@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
+
+func smallFailoverSpec() FailoverSpec {
+	return FailoverSpec{
+		Sockets:  []int{1, 2},
+		Modes:    []stats.ReplMode{stats.ReplNone, stats.ReplAsync, stats.ReplSync},
+		Replicas: 2,
+		Workload: func(sockets int) WorkloadSpec { return smallTPCC() },
+
+		ShardedLog:         true,
+		TerminalsPerSocket: 4,
+		Seed:               42,
+		Warmup:             1 * sim.Millisecond,
+		Measure:            3 * sim.Millisecond,
+	}
+}
+
+// TestFailoverSerialParallelIdentical pins the sweep's determinism: the
+// fault plan, the kill instant, the surviving image and the recovered
+// content must be bit-identical whether points run serially or fanned out.
+func TestFailoverSerialParallelIdentical(t *testing.T) {
+	spec := smallFailoverSpec()
+	serialFo, serialSteady := spec.RunFailover(Options{Parallel: 1})
+	parFo, parSteady := spec.RunFailover(Options{Parallel: 4})
+	if !reflect.DeepEqual(serialFo, parFo) {
+		t.Errorf("failover results diverge between serial and parallel runs:\n%+v\n%+v", serialFo, parFo)
+	}
+	if ds, dp := Digest(serialSteady), Digest(parSteady); ds != dp {
+		t.Errorf("steady-state digests diverge: serial %s vs parallel %s", ds, dp)
+	}
+	for _, r := range serialFo {
+		if r.Err != nil {
+			t.Fatalf("x%d/%s failed: %v", r.Sockets, r.Mode, r.Err)
+		}
+		if r.TPS <= 0 {
+			t.Errorf("x%d/%s measured no throughput", r.Sockets, r.Mode)
+		}
+		if r.Mode == stats.ReplNone {
+			if r.CommitsAcked != 0 || r.TimeToServing != 0 {
+				t.Errorf("baseline row carries failover fields: %+v", r)
+			}
+			continue
+		}
+		if !r.DigestOK {
+			t.Errorf("x%d/%s replica content diverged", r.Sockets, r.Mode)
+		}
+		if r.CommitsAcked == 0 || r.TxnsRecovered == 0 || r.TimeToServing <= 0 {
+			t.Errorf("x%d/%s empty failover measurement: %+v", r.Sockets, r.Mode, r)
+		}
+		if r.OverheadP50 <= 0 {
+			t.Errorf("x%d/%s missing overhead vs baseline", r.Sockets, r.Mode)
+		}
+		if r.Mode == stats.ReplSync && r.LostTxns != 0 {
+			t.Errorf("sync lost %d acknowledged commits", r.LostTxns)
+		}
+		if r.ShippedBytes == 0 {
+			t.Errorf("x%d/%s shipped nothing in steady state", r.Sockets, r.Mode)
+		}
+	}
+}
+
+func TestFailoverDefaults(t *testing.T) {
+	if got := DefaultFailoverSockets(); !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Errorf("default sockets %v", got)
+	}
+	want := []stats.ReplMode{stats.ReplNone, stats.ReplAsync, stats.ReplSync, stats.ReplQuorum}
+	if got := DefaultFailoverModes(); !reflect.DeepEqual(got, want) {
+		t.Errorf("default modes %v", got)
+	}
+}
+
+func TestFailoverTableAndJSON(t *testing.T) {
+	results := []FailoverResult{
+		{Sockets: 1, Mode: stats.ReplNone, Engine: "dora", Workload: "tpcc", TPS: 1000},
+		{Sockets: 1, Shards: 1, Mode: stats.ReplQuorum, Replicas: 2, Engine: "dora", Workload: "tpcc",
+			TPS: 800, P50: 100 * sim.Microsecond, OverheadP50: 1.5,
+			CommitsAcked: 50, TxnsRecovered: 50, TimeToServing: 2 * sim.Millisecond, DigestOK: true},
+	}
+	tbl := FailoverTable(results).String()
+	for _, want := range []string{"none", "quorum", "1.50x", "2.000ms"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	b, err := FailoverJSON(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"suite": "bionicbench-failover"`,
+		`"name": "fig-failover/tpcc/dora/x1/quorum"`,
+		`"replication": "none"`,
+		`"digest_ok": true`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}

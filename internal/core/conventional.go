@@ -72,6 +72,9 @@ func NewConventional(env *sim.Env, cfg *platform.Config, tables []TableDef) *Con
 	// with no recoverable order. Its centralized log (and single SSD) stays
 	// — that is the scaling wall the sharded engines escape.
 	e.logSet = wal.NewLogSet(pl, []wal.LogShard{{App: e.logMgr, Store: e.store}})
+	if cfg.Replicated() {
+		e.logSet.AttachReplication(wal.NewReplicaSet(e.logSet))
+	}
 	e.tm = txn.NewManager(env, e.logSet, txn.DefaultConfig())
 	for i := 0; i < latchStripes; i++ {
 		e.latches = append(e.latches, sim.NewResource(env, fmt.Sprintf("page-latch-%d", i), 1))
@@ -139,8 +142,24 @@ func (e *Conventional) LogSet() *wal.LogSet { return e.logSet }
 // LogStats reports the central log's activity as a one-shard set.
 func (e *Conventional) LogStats() []stats.LogShardStats { return e.logSet.Stats() }
 
+// Replicator exposes the log-shipping machinery (nil when unreplicated).
+func (e *Conventional) Replicator() *wal.ReplicaSet { return e.logSet.Replication() }
+
+// ReplStats reports log-shipping activity; nil when unreplicated.
+func (e *Conventional) ReplStats() []stats.ReplicationStats {
+	if rs := e.logSet.Replication(); rs != nil {
+		return rs.Stats()
+	}
+	return nil
+}
+
 // Close implements Engine.
-func (e *Conventional) Close() { e.logMgr.Stop() }
+func (e *Conventional) Close() {
+	e.logMgr.Stop()
+	if rs := e.logSet.Replication(); rs != nil {
+		rs.Stop()
+	}
+}
 
 // Submit implements Engine.
 func (e *Conventional) Submit(term *Terminal, logic TxnLogic) bool {

@@ -117,6 +117,9 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 		shards[s] = wal.LogShard{App: app, Store: st, Socket: s}
 	}
 	e.logSet = wal.NewLogSet(pl, shards)
+	if cfg.Replicated() {
+		e.logSet.AttachReplication(wal.NewReplicaSet(e.logSet))
+	}
 	e.tm = txn.NewManager(env, e.logSet, txn.DefaultConfig())
 
 	if off.Overlay || off.Tree {
@@ -193,6 +196,17 @@ func (e *DORAEngine) LogSet() *wal.LogSet { return e.logSet }
 // LogStats reports per-shard log activity (bytes, syncs, epochs).
 func (e *DORAEngine) LogStats() []stats.LogShardStats { return e.logSet.Stats() }
 
+// Replicator exposes the log-shipping machinery (nil when unreplicated).
+func (e *DORAEngine) Replicator() *wal.ReplicaSet { return e.logSet.Replication() }
+
+// ReplStats reports per-shard log-shipping activity; nil when unreplicated.
+func (e *DORAEngine) ReplStats() []stats.ReplicationStats {
+	if rs := e.logSet.Replication(); rs != nil {
+		return rs.Stats()
+	}
+	return nil
+}
+
 // DiskManager exposes the checkpoint page store.
 func (e *DORAEngine) DiskManager() *storage.DiskManager { return e.dm }
 
@@ -267,6 +281,9 @@ func (e *DORAEngine) Close() {
 	}
 	for _, hw := range e.hwLogs {
 		hw.Stop()
+	}
+	if rs := e.logSet.Replication(); rs != nil {
+		rs.Stop()
 	}
 	if e.ov != nil {
 		e.ov.Stop()

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bionicdb/internal/btree"
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+	"bionicdb/internal/storage"
+)
+
+// FailoverStats measures one failover: the primary died, the replica
+// detected it and replayed the surviving log image through the measured
+// recovery path, and is now serving.
+type FailoverStats struct {
+	Mode   stats.ReplMode
+	Detect sim.Duration // failure-detector delay before recovery starts
+
+	Recovery RecoveryStats
+	// TimeToServing is the replica's full outage window: detection plus
+	// checkpoint restore plus replay.
+	TimeToServing sim.Duration
+
+	// Digest is the recovered content digest — compared against a recovery
+	// of the primary's shipped prefix to prove the replica serves exactly
+	// what survived.
+	Digest string
+}
+
+// DefaultDetect is the modeled failure-detector timeout: how long the
+// replica waits on missed heartbeats before declaring the primary dead and
+// starting recovery. A few link round trips of a 2012-era in-rack network.
+const DefaultDetect = 500 * sim.Microsecond
+
+// Failover boots the replica machine and promotes it: restore the
+// checkpoint, replay the surviving per-shard log image (the longest replica
+// copy of each shard, from ReplicaSet.CrashImage) through RecoverMeasured,
+// and report time-to-serving. The replica machine is the same hardware as
+// the primary but boots unreplicated — after a failover it serves alone.
+//
+// dm is the crashed primary's checkpoint store; like the recovery sweep,
+// failover rebinds it to the replica's disk (checkpoints are assumed
+// replicated out-of-band at checkpoint time — they are static page images,
+// not part of the shipped stream).
+func Failover(cfg *platform.Config, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager,
+	logs [][]byte, detect sim.Duration, parallel bool) (map[uint16]*btree.Tree, FailoverStats, error) {
+	bootCfg := *cfg
+	bootCfg.Replicas = 0
+	bootCfg.ReplMode = stats.ReplNone
+	env := sim.NewEnv()
+	defer env.Close()
+	pl := platform.New(env, &bootCfg)
+	dm2 := dm.Rebind(pl.Disk)
+	fst := FailoverStats{Mode: cfg.ReplMode, Detect: detect}
+	var trees map[uint16]*btree.Tree
+	var rerr error
+	env.Spawn("failover", func(p *sim.Proc) {
+		p.Wait(detect)
+		t, rst, err := RecoverMeasured(p, pl, defs, meta, dm2, logs, parallel)
+		trees, fst.Recovery, rerr = t, rst, err
+	})
+	if err := env.Run(); err != nil {
+		return nil, fst, err
+	}
+	if rerr != nil {
+		return nil, fst, rerr
+	}
+	fst.TimeToServing = detect + fst.Recovery.SimTime
+	fst.Digest = ContentDigest(trees)
+	return trees, fst, nil
+}

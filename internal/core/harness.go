@@ -72,11 +72,21 @@ type Result struct {
 	// Scan is the analytical half's window statistics when the run attached
 	// an Analytics subsystem; nil on pure-OLTP runs.
 	Scan *stats.ScanStats
+
+	// Repl is per-log-shard shipping activity in the window when the engine
+	// replicates its log; nil on unreplicated runs.
+	Repl []stats.ReplicationStats
 }
 
 // logStatser is implemented by engines that report per-shard log counters.
 type logStatser interface {
 	LogStats() []stats.LogShardStats
+}
+
+// replStatser is implemented by engines that ship their log to replicas; a
+// nil slice means replication is off.
+type replStatser interface {
+	ReplStats() []stats.ReplicationStats
 }
 
 // String renders a one-line summary.
@@ -154,6 +164,7 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	var startSnap, endSnap platform.Snapshot
 	var startCommits, endCommits, startAborts, endAborts int64
 	var startLog, endLog []stats.LogShardStats
+	var startRepl, endRepl []stats.ReplicationStats
 	var startScan, endScan stats.ScanStats
 	env.At(warmT, func() {
 		startBD = *eng.Breakdown()
@@ -162,6 +173,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		startAborts = eng.Counters().Get("aborts.user")
 		if ls, ok := eng.(logStatser); ok {
 			startLog = ls.LogStats()
+		}
+		if rs, ok := eng.(replStatser); ok {
+			startRepl = rs.ReplStats()
 		}
 		if arun != nil {
 			startScan = arun.Snapshot()
@@ -174,6 +188,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		endAborts = eng.Counters().Get("aborts.user")
 		if ls, ok := eng.(logStatser); ok {
 			endLog = ls.LogStats()
+		}
+		if rs, ok := eng.(replStatser); ok {
+			endRepl = rs.ReplStats()
 		}
 		if arun != nil {
 			endScan = arun.Snapshot()
@@ -237,6 +254,11 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	if len(endLog) == len(startLog) {
 		for i := range endLog {
 			res.LogShards = append(res.LogShards, endLog[i].Sub(startLog[i]))
+		}
+	}
+	if len(endRepl) > 0 && len(endRepl) == len(startRepl) {
+		for i := range endRepl {
+			res.Repl = append(res.Repl, endRepl[i].Sub(startRepl[i]))
 		}
 	}
 	if arun != nil {

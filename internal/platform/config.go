@@ -10,7 +10,10 @@
 // paper's machine exactly: no interconnect exists and nothing pays for it.
 package platform
 
-import "bionicdb/internal/sim"
+import (
+	"bionicdb/internal/sim"
+	"bionicdb/internal/stats"
+)
 
 // Config holds every calibration constant of the machine model. Defaults
 // come from HC2(), which transcribes Figure 2 verbatim for links and
@@ -79,6 +82,31 @@ type Config struct {
 	// keeps exactly its one SSD and nothing new is built or paid for.
 	LogDevPerSocket bool
 
+	// --- Log replication (replicated configurations only) ---
+
+	// Replicas is the number of replica machines the durable log ships to.
+	// Zero (the default) disables replication: no link, no replica devices,
+	// no shipping daemons — the single-machine model is untouched.
+	Replicas int
+	// ReplMode is how the commit path waits for replica acknowledgements:
+	// async (not at all), sync (every replica), quorum (a majority of
+	// primary + replicas). Inert while Replicas is zero.
+	ReplMode stats.ReplMode
+	// ReplLinkGBps is the primary's egress bandwidth toward the replicas —
+	// one 10 GbE port (1.25 GB/s), the commodity inter-machine link of the
+	// era. All replicas share it, so sync (all acks) pays the serialization
+	// that quorum (first ack) hides.
+	ReplLinkGBps float64
+	// ReplLinkLat is the one-way message latency to a replica: NIC, kernel
+	// stack and a switch hop. ~25 us matches 2012-era TCP round trips of
+	// ~50 us within a rack.
+	ReplLinkLat sim.Duration
+	// ReplPJPerByte is the transfer energy per byte across the link — both
+	// NIC ends plus the switch port. A 10 GbE port burns ~5 W at 1.25 GB/s
+	// line rate, so ~4 nJ/B per end; 3000 pJ/B covers one end plus a shared
+	// switch.
+	ReplPJPerByte float64
+
 	// --- Socket interconnect (multi-socket configurations only) ---
 
 	// ICTopology is how sockets are wired: a full crossbar, a
@@ -141,6 +169,10 @@ func HC2() *Config {
 		DiskBWGBps: 1.5, DiskLat: 5 * sim.Millisecond, DiskChans: 2,
 		SSDBWGBps: 0.5, SSDLat: 20 * sim.Microsecond, SSDChans: 1,
 
+		ReplLinkGBps:  1.25,
+		ReplLinkLat:   25 * sim.Microsecond,
+		ReplPJPerByte: 3000,
+
 		ICTopology:  TopoRing,
 		ICLinkGBps:  12.8,
 		ICHopLat:    40 * sim.Nanosecond,
@@ -176,6 +208,42 @@ func HC2ScaledSharded(sockets int) *Config {
 	cfg := HC2Scaled(sockets)
 	cfg.LogDevPerSocket = true
 	return cfg
+}
+
+// HC2Replicated returns HC2Scaled(n) shipping its durable log to the given
+// number of replica machines under the given commit-wait mode — the
+// platform the fig-failover sweep measures (add LogDevPerSocket for the
+// sharded-log variant).
+func HC2Replicated(sockets, replicas int, mode stats.ReplMode) *Config {
+	cfg := HC2Scaled(sockets)
+	cfg.Replicas = replicas
+	cfg.ReplMode = mode
+	return cfg
+}
+
+// Replicated reports whether this machine ships its log to replicas. A
+// config with Replicas == 0 or ReplMode == ReplNone builds none of the
+// replication machinery — the standing no-feature invariant.
+func (c *Config) Replicated() bool { return c.Replicas > 0 && c.ReplMode != stats.ReplNone }
+
+// ReplAckNeed returns how many replica acknowledgements a commit must wait
+// for under the configured mode: 0 (async), all replicas (sync), or enough
+// replicas to form a majority of primary + replicas (quorum).
+func (c *Config) ReplAckNeed() int {
+	if !c.Replicated() {
+		return 0
+	}
+	switch c.ReplMode {
+	case stats.ReplSync:
+		return c.Replicas
+	case stats.ReplQuorum:
+		// Majority of the replication group (primary + R replicas); the
+		// primary's own durable write is one vote, so a group of R+1 needs
+		// floor((R+1)/2)+1 votes, i.e. floor((R+1)/2) replica acks.
+		return (c.Replicas + 1) / 2
+	default:
+		return 0
+	}
 }
 
 // ShardedLog reports whether this machine shards its durable log: one log

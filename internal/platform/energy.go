@@ -19,6 +19,8 @@ type Snapshot struct {
 	ICHopBytes    int64 // interconnect bytes x hops (zero on one socket)
 	DiskBusy      sim.Duration
 	SSDBusy       sim.Duration
+	ReplBytes     int64        // bytes shipped over the inter-machine link
+	ReplSSDBusy   sim.Duration // replica machines' log-device busy time
 }
 
 // Snapshot reads the current cumulative counters.
@@ -45,6 +47,14 @@ func (pl *Platform) Snapshot() Snapshot {
 	for _, d := range pl.logLinks[1:] {
 		s.PCIeBytes += d.bytes
 	}
+	if pl.ReplLink != nil {
+		s.ReplBytes = pl.ReplLink.bytes
+		for _, row := range pl.replSSDs {
+			for _, d := range row {
+				s.ReplSSDBusy += d.BusyTime()
+			}
+		}
+	}
 	return s
 }
 
@@ -60,17 +70,18 @@ type EnergyReport struct {
 	PCIe         float64 // per-byte link energy
 	Interconnect float64 // socket fabric, per byte per hop (multi-socket)
 	Storage      float64 // disk + SSD active power over busy time
+	Replication  float64 // inter-machine link per byte + replica log devices (replicated only)
 }
 
 // Total returns the sum over all domains, in joules.
 func (r EnergyReport) Total() float64 {
-	return r.CPUDynamic + r.CPUIdle + r.FPGA + r.DRAM + r.PCIe + r.Interconnect + r.Storage
+	return r.CPUDynamic + r.CPUIdle + r.FPGA + r.DRAM + r.PCIe + r.Interconnect + r.Storage + r.Replication
 }
 
 // String summarizes the report in millijoules.
 func (r EnergyReport) String() string {
-	return fmt.Sprintf("total=%.3fmJ cpuDyn=%.3f cpuIdle=%.3f fpga=%.3f dram=%.3f pcie=%.3f ic=%.3f storage=%.3f",
-		r.Total()*1e3, r.CPUDynamic*1e3, r.CPUIdle*1e3, r.FPGA*1e3, r.DRAM*1e3, r.PCIe*1e3, r.Interconnect*1e3, r.Storage*1e3)
+	return fmt.Sprintf("total=%.3fmJ cpuDyn=%.3f cpuIdle=%.3f fpga=%.3f dram=%.3f pcie=%.3f ic=%.3f storage=%.3f repl=%.3f",
+		r.Total()*1e3, r.CPUDynamic*1e3, r.CPUIdle*1e3, r.FPGA*1e3, r.DRAM*1e3, r.PCIe*1e3, r.Interconnect*1e3, r.Storage*1e3, r.Replication*1e3)
 }
 
 // Energy computes the joules spent between two snapshots of this platform.
@@ -105,5 +116,7 @@ func (pl *Platform) Energy(from, to Snapshot) EnergyReport {
 	r.Interconnect = float64(to.ICHopBytes-from.ICHopBytes) * cfg.ICPJPerByte * 1e-12
 	r.Storage = cfg.DiskActiveW*(to.DiskBusy-from.DiskBusy).Seconds() +
 		cfg.SSDActiveW*(to.SSDBusy-from.SSDBusy).Seconds()
+	r.Replication = float64(to.ReplBytes-from.ReplBytes)*cfg.ReplPJPerByte*1e-12 +
+		cfg.SSDActiveW*(to.ReplSSDBusy-from.ReplSSDBusy).Seconds()
 	return r
 }

@@ -40,6 +40,13 @@ type Platform struct {
 	logSSDs  []*Device
 	logLinks []*Device
 
+	// Replication devices (Cfg.Replicated() only): the primary's one egress
+	// NIC toward the replica machines, and each replica machine's log
+	// devices, indexed [replica][shard]. Both stay nil with replication off,
+	// so an unreplicated machine builds and pays for nothing new.
+	ReplLink *Device
+	replSSDs [][]*Device
+
 	units []*HWUnit
 
 	instructions  int64
@@ -108,8 +115,28 @@ func New(env *sim.Env, cfg *Config) *Platform {
 				NewDevice(env, fmt.Sprintf("log-link%d", s), cfg.PCIeBWGBps, cfg.PCIeLat, 1))
 		}
 	}
+	if cfg.Replicated() {
+		pl.ReplLink = NewDevice(env, "repl-link", cfg.ReplLinkGBps, cfg.ReplLinkLat, 1)
+		for r := 0; r < cfg.Replicas; r++ {
+			row := make([]*Device, len(pl.logSSDs))
+			for s := range row {
+				row[s] = newHoldingDevice(env, fmt.Sprintf("repl%d-ssd%d", r, s),
+					cfg.SSDBWGBps, cfg.SSDLat, cfg.SSDChans)
+			}
+			pl.replSSDs = append(pl.replSSDs, row)
+		}
+	}
 	return pl
 }
+
+// Replicas returns how many replica machines the platform ships its log to
+// (zero with replication off).
+func (pl *Platform) Replicas() int { return len(pl.replSSDs) }
+
+// ReplSSD returns the given replica machine's log device for the given
+// shard. Replica machines mirror the primary's log-device layout: one
+// device per shard.
+func (pl *Platform) ReplSSD(replica, shard int) *Device { return pl.replSSDs[replica][shard] }
 
 // LogShards returns how many per-socket log shards the machine carries: the
 // socket count under Cfg.ShardedLog(), otherwise 1 (the single SSD).

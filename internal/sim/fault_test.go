@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	start, end := Time(20*Millisecond), Time(70*Millisecond)
+	a := NewFaultPlan(NewRand(7), start, end, 2, true)
+	b := NewFaultPlan(NewRand(7), start, end, 2, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	c := NewFaultPlan(NewRand(8), start, end, 2, true)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestFaultPlanShape(t *testing.T) {
+	start, end := Time(0), Time(100*Millisecond)
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := tplan(seed, start, end, 3, true)
+		kill, ok := p.KillTime()
+		if !ok {
+			t.Fatalf("seed %d: no primary kill", seed)
+		}
+		// The kill lands in the 60-80% stretch of the window.
+		lo, hi := start.Add(Duration(0.60*float64(end.Sub(start)))), start.Add(Duration(0.80*float64(end.Sub(start))))
+		if kill < lo || kill > hi {
+			t.Errorf("seed %d: kill at %v, want within [%v, %v]", seed, kill, lo, hi)
+		}
+		if len(p.Faults) != 4 {
+			t.Fatalf("seed %d: %d faults, want 4", seed, len(p.Faults))
+		}
+		for i, f := range p.Faults {
+			if i > 0 && f.At < p.Faults[i-1].At {
+				t.Errorf("seed %d: faults not time-ordered", seed)
+			}
+			switch f.Kind {
+			case FaultPrimaryKill:
+				continue
+			case FaultLinkLag:
+				if f.Factor < 4 || f.Factor > 8 {
+					t.Errorf("seed %d: lag factor %v out of [4, 8]", seed, f.Factor)
+				}
+			case FaultReplicaStall:
+				if f.Replica < 0 || f.Replica >= 3 {
+					t.Errorf("seed %d: stall targets replica %d of 3", seed, f.Replica)
+				}
+			}
+			if f.Until <= f.At {
+				t.Errorf("seed %d: %s window [%v, %v) is empty", seed, f.Kind, f.At, f.Until)
+			}
+			if f.Until >= kill {
+				t.Errorf("seed %d: %s window ends at %v, after the kill at %v", seed, f.Kind, f.Until, kill)
+			}
+		}
+	}
+	// Without windows the plan is the kill alone.
+	p := tplan(1, start, end, 3, false)
+	if len(p.Faults) != 1 || p.Faults[0].Kind != FaultPrimaryKill {
+		t.Errorf("windowless plan: %+v", p.Faults)
+	}
+}
+
+func tplan(seed uint64, start, end Time, replicas int, windows bool) FaultPlan {
+	return NewFaultPlan(NewRand(seed), start, end, replicas, windows)
+}
+
+func TestFaultPlanSchedule(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	start, end := Time(0), Time(10*Millisecond)
+	p := tplan(3, start, end, 2, true)
+	type event struct {
+		kind  FaultKind
+		begin bool
+		at    Time
+	}
+	var got []event
+	p.Schedule(env,
+		func(f Fault) { got = append(got, event{f.Kind, true, env.Now()}) },
+		func(f Fault) { got = append(got, event{f.Kind, false, env.Now()}) })
+	kill, _ := p.KillTime()
+	if err := env.RunUntil(kill); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 { // 3 windows x begin+end; the kill is not scheduled
+		t.Fatalf("%d schedule events, want 6: %+v", len(got), got)
+	}
+	for i, e := range got {
+		if i > 0 && e.at < got[i-1].at {
+			t.Errorf("events out of time order: %+v", got)
+		}
+		if e.kind == FaultPrimaryKill {
+			t.Error("primary kill was scheduled as an event")
+		}
+	}
+	// Each window's begin precedes its end at the planned instants.
+	for _, f := range p.Faults {
+		if f.Kind == FaultPrimaryKill {
+			continue
+		}
+		var beginAt, endAt Time
+		for _, e := range got {
+			if e.kind != f.Kind {
+				continue
+			}
+			if e.begin {
+				beginAt = e.at
+			} else {
+				endAt = e.at
+			}
+		}
+		if beginAt != f.At || endAt != f.Until {
+			t.Errorf("%s fired at [%v, %v], planned [%v, %v]", f.Kind, beginAt, endAt, f.At, f.Until)
+		}
+	}
+}

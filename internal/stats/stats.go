@@ -425,6 +425,90 @@ func (s ScanStats) StaleMean() sim.Duration {
 	return sim.Duration(int64(s.StaleSum) / s.Scans)
 }
 
+// ReplMode selects how the commit path waits for log replication: not at
+// all (async ships in the background), for every replica (sync), or for a
+// majority of replicas (quorum). ReplNone means replication is off and the
+// engine builds none of the shipping machinery.
+type ReplMode uint8
+
+const (
+	ReplNone ReplMode = iota
+	ReplAsync
+	ReplSync
+	ReplQuorum
+)
+
+// String renders the mode as its flag spelling.
+func (m ReplMode) String() string {
+	switch m {
+	case ReplAsync:
+		return "async"
+	case ReplSync:
+		return "sync"
+	case ReplQuorum:
+		return "quorum"
+	default:
+		return "none"
+	}
+}
+
+// ParseReplMode parses a -replication flag value ("off"/"none" disable).
+func ParseReplMode(s string) (ReplMode, error) {
+	switch s {
+	case "", "off", "none":
+		return ReplNone, nil
+	case "async":
+		return ReplAsync, nil
+	case "sync":
+		return ReplSync, nil
+	case "quorum":
+		return ReplQuorum, nil
+	default:
+		return ReplNone, fmt.Errorf("unknown replication mode %q (want off|async|sync|quorum)", s)
+	}
+}
+
+// ReplicationStats is one log shard's shipping activity to the replica
+// machines, mirroring LogShardStats: counter fields are cumulative event
+// counts; the *Max fields are run-cumulative maxima (a windowed Sub keeps
+// the end snapshot's maximum). Bytes and ships sum over replicas — with R
+// replicas every shard byte ships R times.
+type ReplicationStats struct {
+	Shard int      // owning socket (0 for a central log)
+	Mode  ReplMode // commit-path wait mode
+
+	ShippedBytes int64 // bytes landed durable on replica log devices
+	Ships        int64 // ship batches completed (replica write done)
+	AckRTTs      int64 // acknowledgement round trips completed
+
+	LagBytesMax int64        // largest primary-durable lead over a replica, observed at ship pickup
+	LagTimeSum  sim.Duration // summed ship-pickup-to-ack round-trip time
+	LagTimeMax  sim.Duration // largest observed pickup-to-ack round trip
+}
+
+// Sub returns the windowed difference s - o: counters subtract, maxima keep
+// s's run-cumulative value.
+func (s ReplicationStats) Sub(o ReplicationStats) ReplicationStats {
+	return ReplicationStats{
+		Shard:        s.Shard,
+		Mode:         s.Mode,
+		ShippedBytes: s.ShippedBytes - o.ShippedBytes,
+		Ships:        s.Ships - o.Ships,
+		AckRTTs:      s.AckRTTs - o.AckRTTs,
+		LagBytesMax:  s.LagBytesMax,
+		LagTimeSum:   s.LagTimeSum - o.LagTimeSum,
+		LagTimeMax:   s.LagTimeMax,
+	}
+}
+
+// LagTimeMean returns the mean ship round trip, or 0 with no acks.
+func (s ReplicationStats) LagTimeMean() sim.Duration {
+	if s.AckRTTs == 0 {
+		return 0
+	}
+	return sim.Duration(int64(s.LagTimeSum) / s.AckRTTs)
+}
+
 // Counter is a named monotonic event counter set.
 type Counter struct {
 	m map[string]int64

@@ -11,6 +11,13 @@
 // the vector durable point: only when every touched shard has reached the
 // transaction's horizon there. A single-shard log degenerates to the
 // classic central-log behavior exactly.
+//
+// With log replication attached (wal.ReplicaSet) the vector durable point
+// extends across machines: under sync and quorum modes the commit signal
+// additionally waits for enough replica acknowledgements of every vector
+// entry, so acknowledged commits survive a primary failure. Async mode and
+// unreplicated runs keep the local-only wait — this package is oblivious
+// to the difference, which lives entirely behind LogSet.CommitDurable.
 package txn
 
 import (

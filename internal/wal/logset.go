@@ -40,6 +40,10 @@ type LogShard struct {
 type LogSet struct {
 	pl     *platform.Platform
 	shards []LogShard
+	// repl is the attached replication machinery; nil on an unreplicated
+	// machine, where the commit path below is exactly the single-machine
+	// code.
+	repl *ReplicaSet
 }
 
 // NewLogSet builds a log set over the given shards. Shard i must serve
@@ -108,12 +112,37 @@ func (ls *LogSet) DurableVector() []LSN {
 	return out
 }
 
+// AttachReplication wires rs into the commit path: under sync/quorum
+// modes CommitDurable waits for replica acknowledgements after the local
+// vector durable point. Engines attach at construction, gated on
+// Config.Replicated().
+func (ls *LogSet) AttachReplication(rs *ReplicaSet) { ls.repl = rs }
+
+// Replication returns the attached replica set (nil when unreplicated).
+func (ls *LogSet) Replication() *ReplicaSet { return ls.repl }
+
 // CommitDurable fires done once every entry of vec is durable on its shard
 // — the vector durable point. A single-entry vector delegates directly to
 // the shard's appender (today's group-commit handshake, unchanged); a
 // multi-entry vector joins the per-shard completions with no extra
 // processes or events.
+//
+// With replication attached under a waiting mode (sync/quorum), the vector
+// durable point extends across machines: done fires only after enough
+// replicas have also acknowledged every vector entry. Async mode (and no
+// replication) keeps the local-only wait.
 func (ls *LogSet) CommitDurable(vec []ShardLSN, done *sim.Signal) {
+	if ls.repl != nil && ls.repl.AckNeed() > 0 {
+		local := sim.NewSignal(ls.pl.Env)
+		local.OnFire(func(any) { ls.repl.AckWaitVec(vec, done) })
+		ls.commitLocal(vec, local)
+		return
+	}
+	ls.commitLocal(vec, done)
+}
+
+// commitLocal is the single-machine vector durable point.
+func (ls *LogSet) commitLocal(vec []ShardLSN, done *sim.Signal) {
 	if len(vec) == 0 {
 		done.Fire(nil) // nothing was logged; durable by definition
 		return
