@@ -69,6 +69,7 @@ var (
 	recJSON     = flag.String("recovery-json", "", "write -fig-recovery results as JSON to this file")
 	failJSON    = flag.String("failover-json", "", "write -fig-failover results as JSON to this file")
 	replication = flag.String("replication", "off", "log-shipping replication mode for the run-backed experiments: off|async|sync|quorum (-fig-failover sweeps all modes unless this narrows it)")
+	kernelPar   = flag.Bool("kernel-parallel", false, "run each simulation on the sharded event kernel: one event loop per simulated socket on host goroutines, interconnect-lookahead windows; results are bit-identical to the serial kernel")
 	replicas    = flag.Int("replicas", 2, "replica machines when -replication is on")
 	all         = flag.Bool("all", false, "run every experiment")
 	quick       = flag.Bool("quick", false, "shrink scales for a fast run")
@@ -91,6 +92,14 @@ var (
 
 // collected accumulates every bench result of the invocation for -json.
 var collected []bench.Result
+
+// kernelEvents/kernelWall accumulate the event kernel's volume and host
+// wall-clock across every run-backed point, for the end-of-run throughput
+// line (simulated results never depend on the kernel; events/sec does).
+var (
+	kernelEvents uint64
+	kernelWall   time.Duration
+)
 
 // expWalls accumulates host wall-clock per experiment for -benchjson.
 var expWalls []expWall
@@ -148,6 +157,78 @@ func kernelStats() (eventsPerSec, allocsPerEvent float64, events uint64) {
 	return float64(ev) / wall.Seconds(), float64(allocs) / float64(ev), ev
 }
 
+// parallelKernelStorm runs the sharded kernel's throughput microbenchmark:
+// `shards` event loops of timer-stepping processes exchanging occasional
+// cross-shard posts at the interconnect lookahead — the same shape an
+// engine run has under -kernel-parallel on a `shards`-socket machine.
+func parallelKernelStorm(shards int, la sim.Duration) (events uint64, wall time.Duration) {
+	env := sim.NewEnv()
+	defer env.Close()
+	if shards > 1 {
+		env.EnableParallel(shards, la)
+	}
+	const procs, steps = 8, 12000
+	for s := 0; s < shards; s++ {
+		s := s
+		for i := 0; i < procs; i++ {
+			i := i
+			env.SpawnOn(s, "pkernel", func(p *sim.Proc) {
+				for j := 0; j < steps; j++ {
+					p.Wait(sim.Duration(1 + (i+j)%7))
+					if shards > 1 && j%256 == 255 {
+						p.CrossAt((s+1)%shards, p.Now().Add(la+sim.Duration(s*8+3)), func() {})
+					}
+				}
+			})
+		}
+	}
+	start := time.Now()
+	if err := env.Run(); err != nil {
+		panic(err)
+	}
+	return env.Executed(), time.Since(start)
+}
+
+// parallelPoint is one (shards, GOMAXPROCS) cell of the sharded-kernel
+// throughput matrix in the -benchjson document.
+type parallelPoint struct {
+	Shards       int     `json:"shards"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// parallelSection is the -benchjson "parallel" section: the sharded kernel's
+// events/sec at 8 and 16 simulated sockets across host-core grants. host_cpus
+// records the machine that produced the numbers — speedup columns are only
+// meaningful when gomaxprocs <= host_cpus.
+type parallelSection struct {
+	HostCPUs    int             `json:"host_cpus"`
+	LookaheadPs int64           `json:"lookahead_ps"`
+	Points      []parallelPoint `json:"points"`
+}
+
+// kernelParallelStats measures the sharded kernel at 8 and 16 simulated
+// sockets under 1, 4 and 8 host cores, one warm-up pass per cell like
+// kernelStats.
+func kernelParallelStats() parallelSection {
+	la := platform.HC2().ICHopLat
+	sec := parallelSection{HostCPUs: runtime.NumCPU(), LookaheadPs: int64(la)}
+	for _, shards := range []int{8, 16} {
+		for _, gmp := range []int{1, 4, 8} {
+			prev := runtime.GOMAXPROCS(gmp)
+			parallelKernelStorm(shards, la) // warm up
+			ev, wall := parallelKernelStorm(shards, la)
+			runtime.GOMAXPROCS(prev)
+			sec.Points = append(sec.Points, parallelPoint{
+				Shards: shards, GOMAXPROCS: gmp,
+				Events: ev, EventsPerSec: float64(ev) / wall.Seconds(),
+			})
+		}
+	}
+	return sec
+}
+
 // kernelDoc is the -benchjson document: the perf-trajectory baseline a PR
 // compares against (BENCH_kernel.json at the repo root).
 type kernelDoc struct {
@@ -157,13 +238,15 @@ type kernelDoc struct {
 		AllocsPerEvent float64 `json:"allocs_per_event"`
 		Events         uint64  `json:"events_measured"`
 	} `json:"kernel"`
-	Experiments []expWall `json:"experiments"`
+	Parallel    parallelSection `json:"parallel"`
+	Experiments []expWall       `json:"experiments"`
 }
 
 func writeBenchJSON(path string) error {
 	var doc kernelDoc
 	doc.Suite = "bionicbench-kernel"
 	doc.Kernel.EventsPerSec, doc.Kernel.AllocsPerEvent, doc.Kernel.Events = kernelStats()
+	doc.Parallel = kernelParallelStats()
 	doc.Experiments = expWalls
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -249,6 +332,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if kernelEvents > 0 && kernelWall > 0 {
+		// Host measurement, so stderr: stdout stays byte-identical across
+		// runs (the figure-parity check diffs it).
+		fmt.Fprintf(os.Stderr, "kernel: %d simulated events, %.2fs summed run wall, %.2fM events/sec (kernel-parallel=%v)\n",
+			kernelEvents, kernelWall.Seconds(), float64(kernelEvents)/kernelWall.Seconds()/1e6, *kernelPar)
+	}
 	if *benchjson != "" {
 		if err := writeBenchJSON(*benchjson); err != nil {
 			fatal(err)
@@ -296,6 +385,8 @@ func runPoints(points []bench.Point) []bench.Result {
 		if r.Err != nil {
 			fatal(r.Err)
 		}
+		kernelEvents += r.Res.Events
+		kernelWall += r.Wall
 	}
 	return results
 }
@@ -429,6 +520,7 @@ func fig3() {
 		Terminals: []int{*terminals},
 		Seeds:     []uint64{*seed},
 		Warmup:    warmup, Measure: measure,
+		KernelParallel: *kernelPar,
 	}
 	results := runPoints(g.Points())
 	t := stats.NewTable("component", ">TATP UpdSubData", ">TPCC StockLevel")
@@ -472,6 +564,7 @@ func fig4() {
 			Terminals: []int{wg.terminals},
 			Seeds:     []uint64{*seed},
 			Warmup:    warmup, Measure: measure,
+			KernelParallel: *kernelPar,
 		}
 		points = append(points, g.Points()...)
 	}
@@ -526,6 +619,7 @@ func runAblation() {
 		Terminals: []int{*terminals},
 		Seeds:     []uint64{*seed},
 		Warmup:    warmup, Measure: measure,
+		KernelParallel: *kernelPar,
 	}
 	results := runPoints(g.Points())
 	t := stats.NewTable("offloads", ">tps", ">uJ/txn", ">p50", ">p95")
@@ -559,6 +653,7 @@ func runSweep() {
 		Terminals: []int{*terminals},
 		Seeds:     seedList,
 		Warmup:    warmup, Measure: measure,
+		KernelParallel: *kernelPar,
 	}
 	results := runPoints(g.Points())
 	emit(fmt.Sprintf("Sweep: %d grid points (engines x workloads x %d seed(s))",
@@ -620,6 +715,7 @@ func runFigScaling() {
 			TerminalsPerSocket: perSocketTerminals(),
 			Seeds:              []uint64{*seed},
 			Warmup:             warmup, Measure: measure,
+			KernelParallel: *kernelPar,
 		}
 		points = append(points, spec.Points()...)
 		if *shardedLog && n > 1 {
@@ -663,6 +759,7 @@ func runFigHTAP() {
 			ShardedLog:         true,
 			Seeds:              []uint64{*seed},
 			Warmup:             warmup, Measure: measure,
+			KernelParallel: *kernelPar,
 		}
 		points = append(points, spec.Points()...)
 	}
@@ -690,6 +787,7 @@ func runFigRecovery() {
 		TerminalsPerSocket: perSocketTerminals(),
 		Seed:               *seed,
 		Warmup:             warmup, Measure: measure,
+		KernelParallel: *kernelPar,
 	}
 	results := spec.RunRecovery(bench.Options{Parallel: *parallel})
 	for _, r := range results {
@@ -735,6 +833,7 @@ func runFigFailover() {
 		TerminalsPerSocket: perSocketTerminals(),
 		Seed:               *seed,
 		Warmup:             warmup, Measure: measure,
+		KernelParallel: *kernelPar,
 	}
 	if m := replMode(); m != stats.ReplNone {
 		spec.Modes = []stats.ReplMode{stats.ReplNone, m}

@@ -90,6 +90,11 @@ type Grid struct {
 	// specs were built with (reporting metadata, like Point.Repl).
 	Repl stats.ReplMode
 
+	// KernelParallel runs every point on the parallel event kernel (see
+	// core.RunConfig.KernelParallel). Results stay bit-identical; only host
+	// execution changes.
+	KernelParallel bool
+
 	// Measurement windows shared by every point.
 	Warmup  sim.Duration
 	Measure sim.Duration
@@ -128,6 +133,12 @@ type Point struct {
 	// Engine.Make.
 	Repl stats.ReplMode
 
+	// KernelParallel selects the parallel event kernel for this run (see
+	// core.RunConfig.KernelParallel). It is a host-execution knob: results
+	// and digests are bit-identical with it on or off, which is exactly what
+	// the kernel equivalence tests pin.
+	KernelParallel bool
+
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Drain   sim.Duration
@@ -159,7 +170,8 @@ func (g *Grid) Points() []Point {
 					out = append(out, Point{
 						Index: len(out), Group: g.Group, Engine: eng, Workload: wl,
 						Terminals: t, Seed: seed, Repl: g.Repl,
-						Warmup: warmup, Measure: measure, Drain: g.Drain,
+						KernelParallel: g.KernelParallel,
+						Warmup:         warmup, Measure: measure, Drain: g.Drain,
 					})
 				}
 			}
@@ -184,11 +196,12 @@ type Result struct {
 func (p Point) Run() Result {
 	wl := p.Workload.Make()
 	cfg := core.RunConfig{
-		Terminals: p.Terminals,
-		Warmup:    p.Warmup,
-		Measure:   p.Measure,
-		Drain:     p.Drain,
-		Seed:      p.Seed,
+		Terminals:      p.Terminals,
+		Warmup:         p.Warmup,
+		Measure:        p.Measure,
+		Drain:          p.Drain,
+		Seed:           p.Seed,
+		KernelParallel: p.KernelParallel,
 	}
 	if p.HTAP {
 		if a, ok := wl.(core.Analytics); ok {

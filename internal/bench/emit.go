@@ -44,6 +44,10 @@ type jsonResult struct {
 	Sockets    int    `json:"sockets,omitempty"`
 	ShardedLog bool   `json:"sharded_log,omitempty"`
 	Repl       string `json:"replication,omitempty"`
+	// KernelParallel records which event kernel executed the point. It is a
+	// host-execution detail: every simulated field below is bit-identical
+	// either way (the equivalence test matrix enforces this).
+	KernelParallel bool `json:"kernel_parallel,omitempty"`
 
 	WarmupMs  float64 `json:"warmup_ms"`
 	MeasureMs float64 `json:"measure_ms"`
@@ -59,6 +63,9 @@ type jsonResult struct {
 	FPGAJoules   float64 `json:"fpga_joules"`
 	ICJoules     float64 `json:"interconnect_joules,omitempty"`
 
+	// Events is the kernel event count of the run — a model-coverage
+	// indicator, deliberately outside the sweep digest like WallMs.
+	Events    uint64           `json:"events,omitempty"`
 	TxnCounts map[string]int64 `json:"txn_counts,omitempty"`
 	LogShards []logShardJSON   `json:"log_shards,omitempty"`
 	Scan      *scanJSON        `json:"scan,omitempty"`
@@ -135,18 +142,19 @@ func JSON(results []Result) ([]byte, error) {
 			name = p.Group + "/" + name
 		}
 		jr := jsonResult{
-			Name:       name,
-			Group:      p.Group,
-			Workload:   p.Workload.Name,
-			Engine:     p.Engine.Name,
-			Terminals:  p.Terminals,
-			Seed:       p.Seed,
-			Sockets:    p.Sockets,
-			ShardedLog: p.ShardedLog,
-			Repl:       replLabel(p.Repl),
-			WarmupMs:   p.Warmup.Seconds() * 1e3,
-			MeasureMs:  p.Measure.Seconds() * 1e3,
-			WallMs:     float64(r.Wall.Nanoseconds()) / 1e6,
+			Name:           name,
+			Group:          p.Group,
+			Workload:       p.Workload.Name,
+			Engine:         p.Engine.Name,
+			Terminals:      p.Terminals,
+			Seed:           p.Seed,
+			Sockets:        p.Sockets,
+			ShardedLog:     p.ShardedLog,
+			Repl:           replLabel(p.Repl),
+			KernelParallel: p.KernelParallel,
+			WarmupMs:       p.Warmup.Seconds() * 1e3,
+			MeasureMs:      p.Measure.Seconds() * 1e3,
+			WallMs:         float64(r.Wall.Nanoseconds()) / 1e6,
 		}
 		if r.Err != nil {
 			jr.Error = r.Err.Error()
@@ -162,6 +170,7 @@ func JSON(results []Result) ([]byte, error) {
 			jr.CPUJoules = res.Energy.CPUDynamic + res.Energy.CPUIdle
 			jr.FPGAJoules = res.Energy.FPGA
 			jr.ICJoules = res.Energy.Interconnect
+			jr.Events = res.Events
 			jr.TxnCounts = res.TxnCounts
 			for _, sh := range res.LogShards {
 				jr.LogShards = append(jr.LogShards, logShardJSON{

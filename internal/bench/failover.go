@@ -39,6 +39,10 @@ type FailoverSpec struct {
 	Engine func(cfg *platform.Config, partitions, window int) EngineSpec
 	// ShardedLog gives the machine per-socket log devices.
 	ShardedLog bool
+	// KernelParallel runs the steady-state and crash phases on the parallel
+	// event kernel (see core.RunConfig.KernelParallel); results stay
+	// bit-identical.
+	KernelParallel bool
 
 	// TerminalsPerSocket is the offered load (default 32).
 	TerminalsPerSocket int
@@ -181,7 +185,7 @@ func (s FailoverSpec) RunFailover(opt Options) ([]FailoverResult, []Result) {
 		}
 		wl := s.Workload(n)
 		spec := engine(cfg, pps*n, window)
-		out[i], steady[i] = runFailoverPoint(cfg, spec, wl, mode,
+		out[i], steady[i] = runFailoverPoint(cfg, spec, wl, mode, s.KernelParallel,
 			tps*n, seed, warmup, measure, detect, !s.NoFaultWindows)
 		out[i].Sockets = n
 		out[i].ShardedLog = cfg.ShardedLog()
@@ -210,7 +214,7 @@ func (s FailoverSpec) RunFailover(opt Options) ([]FailoverResult, []Result) {
 // runFailoverPoint measures one (config, mode): a steady-state run, then —
 // for replicated modes — a faulted crash run and the replica's failover
 // boot.
-func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, mode stats.ReplMode,
+func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, mode stats.ReplMode, kernelParallel bool,
 	terminals int, seed uint64, warmup, measure sim.Duration, detect sim.Duration, windows bool) (FailoverResult, Result) {
 	res := FailoverResult{Engine: spec.Name, Workload: wlSpec.Name, Mode: mode, DigestOK: true}
 
@@ -219,7 +223,8 @@ func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 		Group: "fig-failover", Engine: spec, Workload: wlSpec,
 		Terminals: terminals, Seed: seed,
 		Sockets: cfg.NumSockets(), ShardedLog: cfg.ShardedLog(), Repl: mode,
-		Warmup: warmup, Measure: measure,
+		KernelParallel: kernelParallel,
+		Warmup:         warmup, Measure: measure,
 	}
 	sr := p.Run()
 	if sr.Err != nil {
@@ -246,6 +251,7 @@ func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	defer env.Close()
 	wl := wlSpec.Make()
 	eng := spec.Make(env, wl)
+	enableParallelKernel(env, eng.Platform(), kernelParallel)
 	ck, ok := eng.(checkpointable)
 	if !ok {
 		res.Err = fmt.Errorf("engine %s is not checkpointable", spec.Name)

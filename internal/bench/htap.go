@@ -39,6 +39,9 @@ type HTAPSpec struct {
 	// ShardedLog runs every point on a machine with per-socket log
 	// devices, so the freshness vector has one entry per socket.
 	ShardedLog bool
+	// KernelParallel runs every point on the parallel event kernel (see
+	// core.RunConfig.KernelParallel); results stay bit-identical.
+	KernelParallel bool
 
 	Seeds   []uint64
 	Warmup  sim.Duration
@@ -109,7 +112,8 @@ func (s HTAPSpec) Points() []Point {
 						Engine: spec, Workload: wl,
 						Terminals: tps * n, Seed: seed, Sockets: n,
 						ShardedLog: cfg.ShardedLog(), HTAP: true,
-						Warmup: warmup, Measure: measure, Drain: s.Drain,
+						KernelParallel: s.KernelParallel,
+						Warmup:         warmup, Measure: measure, Drain: s.Drain,
 					})
 				}
 			}

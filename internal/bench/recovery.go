@@ -32,6 +32,10 @@ type RecoverySpec struct {
 	// ShardedLog gives the machine per-socket log devices (default in
 	// RunRecovery callers; false measures the centralized baseline).
 	ShardedLog bool
+	// KernelParallel runs the crash phase and both recovery boots on the
+	// parallel event kernel (see core.RunConfig.KernelParallel); results
+	// stay bit-identical.
+	KernelParallel bool
 
 	// TerminalsPerSocket is the offered load (default 32).
 	TerminalsPerSocket int
@@ -122,7 +126,7 @@ func (s RecoverySpec) RunRecovery(opt Options) []RecoveryResult {
 		}
 		wl := s.Workload(n)
 		spec := engine(cfg, pps*n, window)
-		out[i] = runRecoveryPoint(cfg, spec, wl, tps*n, seed, warmup, measure)
+		out[i] = runRecoveryPoint(cfg, spec, wl, tps*n, seed, warmup, measure, s.KernelParallel)
 		out[i].Sockets = n
 		out[i].ShardedLog = cfg.ShardedLog()
 		if opt.OnResult != nil {
@@ -135,7 +139,7 @@ func (s RecoverySpec) RunRecovery(opt Options) []RecoveryResult {
 }
 
 // runRecoveryPoint is one crash + two recovery boots.
-func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, terminals int, seed uint64, warmup, measure sim.Duration) RecoveryResult {
+func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, terminals int, seed uint64, warmup, measure sim.Duration, kernelParallel bool) RecoveryResult {
 	res := RecoveryResult{Engine: spec.Name, Workload: wlSpec.Name}
 
 	// --- Crash phase: populate, checkpoint sharp, run the window, stop cold.
@@ -143,6 +147,7 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	defer env.Close()
 	wl := wlSpec.Make()
 	eng := spec.Make(env, wl)
+	enableParallelKernel(env, eng.Platform(), kernelParallel)
 	ck, ok := eng.(checkpointable)
 	if !ok {
 		res.Err = fmt.Errorf("engine %s is not checkpointable", spec.Name)
@@ -209,6 +214,7 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 		env2 := sim.NewEnv()
 		defer env2.Close()
 		pl2 := platform.New(env2, cfg)
+		enableParallelKernel(env2, pl2, kernelParallel)
 		dm2 := ck.DiskManager().Rebind(pl2.Disk)
 		var st core.RecoveryStats
 		var trees map[uint16]*btree.Tree
@@ -248,6 +254,18 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 		res.Rows += int64(tree.Size())
 	}
 	return res
+}
+
+// enableParallelKernel switches a raw driver environment onto the parallel
+// event kernel when requested and the machine has a parallel shape — the
+// same selection core.Run performs for harness-driven runs.
+func enableParallelKernel(env *sim.Env, pl *platform.Platform, on bool) {
+	if !on {
+		return
+	}
+	if shards, la := pl.KernelShards(); shards > 1 && la > 0 {
+		env.EnableParallel(shards, la)
+	}
 }
 
 // RecoveryTable renders recovery results as the fig-recovery table. The

@@ -39,6 +39,9 @@ type ScalingSpec struct {
 	// structurally unaffected — the flag only bites at 2+ sockets — so the
 	// 1-socket row still anchors the speedup column.
 	ShardedLog bool
+	// KernelParallel runs every point on the parallel event kernel (see
+	// core.RunConfig.KernelParallel); results stay bit-identical.
+	KernelParallel bool
 
 	Seeds   []uint64
 	Warmup  sim.Duration
@@ -123,8 +126,9 @@ func (s ScalingSpec) Points() []Point {
 						Index: len(out), Group: "fig-scaling",
 						Engine: spec, Workload: wl,
 						Terminals: tps * n, Seed: seed, Sockets: n,
-						ShardedLog: cfg.ShardedLog(),
-						Warmup:     warmup, Measure: measure, Drain: s.Drain,
+						ShardedLog:     cfg.ShardedLog(),
+						KernelParallel: s.KernelParallel,
+						Warmup:         warmup, Measure: measure, Drain: s.Drain,
 					})
 				}
 			}

@@ -37,6 +37,13 @@ type RunConfig struct {
 	Drain sim.Duration
 	// Seed drives population and the transaction mix.
 	Seed uint64
+	// KernelParallel runs the simulation on the parallel event kernel: one
+	// shard per simulated socket, synchronized under the interconnect hop
+	// latency as conservative lookahead. Results are bit-identical to the
+	// serial kernel (the equivalence matrix in internal/bench enforces it);
+	// the flag changes host execution only. Single-socket machines have one
+	// shard and stay serial regardless.
+	KernelParallel bool
 	// Analytics, when non-nil, attaches an analytical subsystem to the run
 	// (the HTAP mixed workloads). Nil leaves the run bit-identical to the
 	// pre-HTAP harness.
@@ -76,6 +83,12 @@ type Result struct {
 	// Repl is per-log-shard shipping activity in the window when the engine
 	// replicates its log; nil on unreplicated runs.
 	Repl []stats.ReplicationStats
+
+	// Events is the kernel event count for the whole run (populate through
+	// drain) — the numerator for host events/sec reporting. It is simulated
+	// state, identical on the serial and parallel kernels, and deliberately
+	// not part of the sweep digest.
+	Events uint64
 }
 
 // logStatser is implemented by engines that report per-shard log counters.
@@ -132,6 +145,11 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	defer env.Close()
 	eng := mk(env)
 	pl := eng.Platform()
+	if cfg.KernelParallel {
+		if shards, la := pl.KernelShards(); shards > 1 && la > 0 {
+			env.EnableParallel(shards, la)
+		}
+	}
 	root := sim.NewRand(cfg.Seed)
 	wl.Populate(eng.Load, root.Split())
 	if warmer, ok := eng.(interface{ Warm() }); ok {
@@ -265,5 +283,6 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		sc := endScan.Sub(startScan)
 		res.Scan = &sc
 	}
+	res.Events = env.Executed()
 	return res, nil
 }

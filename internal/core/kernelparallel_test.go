@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"bionicdb/internal/platform"
+	"bionicdb/internal/sim"
+)
+
+// TestKernelParallelMatchesSerial pins the kernel-selection contract at the
+// harness level: RunConfig.KernelParallel changes host execution only, so
+// every measured quantity — commits, latency shape, energy, component
+// breakdown, even the kernel event count — is bit-identical to the serial
+// kernel at every socket count. This test (and the engine paths it drives)
+// is what the -race CI job runs with the parallel kernel enabled.
+func TestKernelParallelMatchesSerial(t *testing.T) {
+	for _, sockets := range []int{1, 2, 4} {
+		run := func(parallel bool) *Result {
+			cfg := RunConfig{
+				Terminals: 4 * sockets,
+				Warmup:    sim.Millisecond, Measure: 5 * sim.Millisecond,
+				Seed:           11,
+				KernelParallel: parallel,
+			}
+			res, err := Run(cfg, kvWorkload{}, func(env *sim.Env) Engine {
+				return NewDORA(env, platform.HC2Scaled(sockets), kvTables(), HashScheme(8*sockets))
+			})
+			if err != nil {
+				t.Fatalf("x%d parallel=%v: %v", sockets, parallel, err)
+			}
+			return res
+		}
+		serial, par := run(false), run(true)
+		if serial.Commits != par.Commits || serial.Aborts != par.Aborts {
+			t.Errorf("x%d: commit/abort counts diverge: %d/%d vs %d/%d",
+				sockets, serial.Commits, serial.Aborts, par.Commits, par.Aborts)
+		}
+		if serial.TPS != par.TPS {
+			t.Errorf("x%d: tps diverges: %v vs %v", sockets, serial.TPS, par.TPS)
+		}
+		if serial.JoulesPerTxn != par.JoulesPerTxn {
+			t.Errorf("x%d: joules/txn diverges: %v vs %v", sockets, serial.JoulesPerTxn, par.JoulesPerTxn)
+		}
+		if serial.BD.Total() != par.BD.Total() {
+			t.Errorf("x%d: breakdowns diverge: %v vs %v", sockets, serial.BD.Total(), par.BD.Total())
+		}
+		for _, pct := range []float64{50, 95, 99} {
+			if s, p := serial.Latency.Percentile(pct), par.Latency.Percentile(pct); s != p {
+				t.Errorf("x%d: p%.0f diverges: %v vs %v", sockets, pct, s, p)
+			}
+		}
+		if serial.Events != par.Events {
+			t.Errorf("x%d: kernel event counts diverge: %d vs %d", sockets, serial.Events, par.Events)
+		}
+		if serial.Events == 0 {
+			t.Errorf("x%d: no kernel events recorded", sockets)
+		}
+	}
+}

@@ -164,6 +164,26 @@ func (pl *Platform) LogLink(socket int) *Device {
 // NumSockets returns the socket count of the built machine.
 func (pl *Platform) NumSockets() int { return len(pl.Sockets) }
 
+// KernelShards reports the machine's parallel event-kernel shape: one shard
+// per socket, with the interconnect per-hop latency as the conservative
+// lookahead — no cross-socket interaction can land sooner than one hop, so
+// a shard may safely run that far ahead of its neighbors. A single-socket
+// machine has no interconnect and no parallel shape: (1, 0).
+func (pl *Platform) KernelShards() (shards int, lookahead sim.Duration) {
+	if pl.IC == nil {
+		return 1, 0
+	}
+	return pl.NumSockets(), pl.Cfg.ICHopLat
+}
+
+// ShardOf maps a socket to its event-kernel shard. The mapping is the
+// identity — shard i simulates socket i — kept behind a name so code
+// confining work to shards never hard-codes the layout.
+func (pl *Platform) ShardOf(socket int) int { return socket }
+
+// ShardOfCore maps a core to the event-kernel shard of its socket.
+func (pl *Platform) ShardOfCore(c *Core) int { return pl.ShardOf(c.sock.ID) }
+
 // newHoldingDevice builds a Device whose latency occupies the channel
 // (seek-style devices), by folding the latency into per-transfer hold time.
 func newHoldingDevice(env *sim.Env, name string, gbps float64, latency sim.Duration, channels int) *Device {

@@ -3,34 +3,69 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 )
 
 // Env is a discrete-event simulation environment: a virtual clock plus an
-// event queue. Processes spawned on an Env run strictly one at a time; every
-// wake-up is mediated by the event queue with ties broken by insertion
-// order, so a simulation is deterministic for a given program and seed.
+// event queue. Processes spawned on an Env run strictly one at a time per
+// shard; every wake-up is mediated by the event queue with ties broken by
+// insertion order, so a simulation is deterministic for a given program and
+// seed.
 //
 // An Env must be created with NewEnv and driven from a single goroutine via
 // Run or RunUntil.
 //
-// The event queue is a hand-specialized binary min-heap over a flat []event
-// keyed by (at, seq). Because seq is unique the key is a total order, so the
-// pop sequence is independent of heap layout details — and unlike
-// container/heap there is no interface boxing on push or type assertion on
-// pop, which keeps the steady-state event loop allocation-free.
+// The environment owns one or more shards, each a complete serial event
+// kernel: its own clock, sequence counter and heap. NewEnv creates exactly
+// one shard and everything runs on it — the serial kernel, unchanged.
+// EnableParallel (parallel.go) adds shards that execute concurrently on host
+// goroutines under a conservative-lookahead window protocol; processes and
+// primitives are confined to one shard each, and the only cross-shard edge
+// is Proc.CrossAt, which must respect the lookahead.
 type Env struct {
+	shs []*shard
+
+	parallel  bool     // EnableParallel ran: RunUntil uses the window protocol
+	lookahead Duration // minimum cross-shard scheduling distance (parallel only)
+
+	spawnMu sync.Mutex // guards procs and live (proc exits race across shards)
+	procs   []*Proc
+	live    int // processes that have been spawned and not yet finished
+
+	errMu  sync.Mutex  // guards err (process panics race across shards)
+	err    error       // first process panic, adorned with a stack trace
+	failed atomic.Bool // mirrors err != nil for lock-free dispatch checks
+
+	closed bool
+	dead   bool // Close ran: parked processes are being (or have been) reaped
+
+	windowWG sync.WaitGroup // tracks in-flight shard windows (parallel only)
+}
+
+// shard is one serial event kernel: a clock, a sequence counter and a flat
+// binary min-heap over []event keyed by (at, seq). Because seq is unique the
+// key is a total order, so the pop sequence is independent of heap layout
+// details — and unlike container/heap there is no interface boxing on push
+// or type assertion on pop, which keeps the steady-state event loop
+// allocation-free. All shard state except the inbox is touched only by the
+// shard's own baton chain (or the driver between windows).
+type shard struct {
+	env      *Env
+	id       int
 	now      Time
 	seq      uint64
 	events   []event // binary min-heap ordered by (at, seq)
 	cur      *Proc
 	parked   chan struct{}
-	live     int   // processes that have been spawned and not yet finished
-	err      error // first process panic, adorned with a stack trace
-	closed   bool
-	dead     bool // Close ran: parked processes are being (or have been) reaped
-	horizon  Time // active RunUntil bound; fast-path waits must not pass it
-	procs    []*Proc
+	horizon  Time   // active window bound; fast-path waits must not pass it
 	executed uint64 // events executed, including fast-path waits
+
+	// Parallel-mode fields (see parallel.go).
+	start    chan struct{} // driver -> worker: run one window
+	inboxMu  sync.Mutex
+	inbox    []crossEvent // cross-shard arrivals, merged at the next barrier
+	crossSeq uint64       // ticket counter for posts ORIGINATING on this shard
 }
 
 type event struct {
@@ -40,55 +75,84 @@ type event struct {
 	fn  func() // callback to run in the scheduler
 }
 
-// NewEnv returns an empty environment with the clock at zero.
+// NewEnv returns an empty single-shard environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{parked: make(chan struct{})}
+	e := &Env{}
+	e.shs = []*shard{{env: e, id: 0, parked: make(chan struct{})}}
+	return e
 }
 
-// Now returns the current simulated time.
-func (e *Env) Now() Time { return e.now }
+// Now returns the current simulated time: the shard clock on a serial
+// environment, and the maximum shard clock on a parallel one (the time the
+// whole machine has provably reached when the driver observes it between
+// RunUntil calls).
+func (e *Env) Now() Time {
+	if !e.parallel {
+		return e.shs[0].now
+	}
+	var m Time
+	for _, s := range e.shs {
+		if s.now > m {
+			m = s.now
+		}
+	}
+	return m
+}
 
 // Executed reports how many events the environment has executed so far
-// (timer wakes, callbacks, and fast-path clock advances). It is the
-// denominator for kernel events/sec measurements.
-func (e *Env) Executed() uint64 { return e.executed }
+// (timer wakes, callbacks, and fast-path clock advances), summed over all
+// shards. It is the denominator for kernel events/sec measurements.
+func (e *Env) Executed() uint64 {
+	var n uint64
+	for _, s := range e.shs {
+		n += s.executed
+	}
+	return n
+}
 
 // At schedules fn to run in the scheduler goroutine at time t (clamped to
-// the present). Callbacks must not block; they are for lightweight
-// bookkeeping such as statistics sampling. Consecutive due callbacks run
-// back-to-back in the scheduler with no goroutine handoff.
-func (e *Env) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+// the present) on shard 0. Callbacks must not block; they are for
+// lightweight bookkeeping such as statistics sampling. Consecutive due
+// callbacks run back-to-back in the scheduler with no goroutine handoff.
+func (e *Env) At(t Time, fn func()) { e.AtOn(0, t, fn) }
+
+// AtOn schedules fn at time t on the given shard, clamped to that shard's
+// present. It must be called from the driver between runs or from a process
+// confined to the same shard; cross-shard scheduling from a running process
+// must go through Proc.CrossAt, which enforces the lookahead.
+func (e *Env) AtOn(shard int, t Time, fn func()) {
+	s := e.shs[shard]
+	if t < s.now {
+		t = s.now
 	}
-	e.push(event{at: t, fn: fn})
+	s.push(event{at: t, fn: fn})
 }
 
 // push assigns the next sequence number and sifts the event up the heap.
-func (e *Env) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.events = append(e.events, ev)
-	i := len(e.events) - 1
+func (s *shard) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	s.events = append(s.events, ev)
+	i := len(s.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		p := e.events[parent]
+		p := s.events[parent]
 		if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
 			break
 		}
-		e.events[i] = p
+		s.events[i] = p
 		i = parent
 	}
-	e.events[i] = ev
+	s.events[i] = ev
 }
 
 // pop removes and returns the minimum event.
-func (e *Env) pop() event {
-	top := e.events[0]
-	n := len(e.events) - 1
-	last := e.events[n]
-	e.events[n] = event{} // drop fn/p references for the collector
-	e.events = e.events[:n]
+func (s *shard) pop() event {
+	top := s.events[0]
+	n := len(s.events) - 1
+	last := s.events[n]
+	s.events[n] = event{} // drop fn/p references for the collector
+	s.events = s.events[:n]
 	if n > 0 {
 		i := 0
 		for {
@@ -97,30 +161,52 @@ func (e *Env) pop() event {
 				break
 			}
 			if r := c + 1; r < n {
-				if e.events[r].at < e.events[c].at ||
-					(e.events[r].at == e.events[c].at && e.events[r].seq < e.events[c].seq) {
+				if s.events[r].at < s.events[c].at ||
+					(s.events[r].at == s.events[c].at && s.events[r].seq < s.events[c].seq) {
 					c = r
 				}
 			}
-			if last.at < e.events[c].at || (last.at == e.events[c].at && last.seq < e.events[c].seq) {
+			if last.at < s.events[c].at || (last.at == s.events[c].at && last.seq < s.events[c].seq) {
 				break
 			}
-			e.events[i] = e.events[c]
+			s.events[i] = s.events[c]
 			i = c
 		}
-		e.events[i] = last
+		s.events[i] = last
 	}
 	return top
 }
 
-// scheduleWake arranges for p to resume at time t. Exactly one wake may be
-// outstanding per parked process; double wakes are a kernel bug.
+// scheduleWake arranges for p to resume at time t on p's shard. Exactly one
+// wake may be outstanding per parked process; double wakes are a kernel bug.
+// t is clamped to the shard's present so a wake computed from a slightly
+// stale clock can never drag the shard backwards in time.
 func (e *Env) scheduleWake(p *Proc, t Time) {
 	if p.waking {
 		panic(fmt.Sprintf("sim: double wake of process %q", p.name))
 	}
 	p.waking = true
-	e.push(event{at: t, p: p})
+	if t < p.sh.now {
+		t = p.sh.now
+	}
+	p.sh.push(event{at: t, p: p})
+}
+
+// setErr records the first process panic; later panics are dropped.
+func (e *Env) setErr(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+		e.failed.Store(true)
+	}
+	e.errMu.Unlock()
+}
+
+// firstErr returns the recorded process panic, if any.
+func (e *Env) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
 }
 
 // Run executes events until none remain or a process panics. Processes left
@@ -139,17 +225,25 @@ func (e *Env) Run() error { return e.RunUntil(Time(1<<63 - 1)) }
 // handoffs per event (process -> scheduler -> next process); the baton
 // costs one, and the event order — hence every simulated result — is
 // byte-for-byte the same.
+//
+// On a parallel environment RunUntil runs the conservative window protocol
+// (parallel.go) instead; within each shard the baton discipline and event
+// order are identical to the serial kernel.
 func (e *Env) RunUntil(horizon Time) error {
 	if e.closed {
 		return fmt.Errorf("sim: environment already closed")
 	}
-	e.horizon = horizon
-	if e.dispatch(nil) == batonHanded {
-		<-e.parked
+	if e.parallel {
+		return e.runParallel(horizon)
 	}
-	if e.err != nil {
+	s := e.shs[0]
+	s.horizon = horizon
+	if s.dispatch(nil) == batonHanded {
+		<-s.parked
+	}
+	if err := e.firstErr(); err != nil {
 		e.closed = true
-		return e.err
+		return err
 	}
 	return nil
 }
@@ -164,26 +258,28 @@ const (
 )
 
 // dispatch executes ready events until one hands the baton to a process or
-// nothing remains within the horizon. self is the dispatching process (nil
-// for the driver); popping self's own wake returns batonSelf so the caller
-// continues without any channel handoff at all. Callback events run inline
-// in the dispatching goroutine — batched back-to-back with no handoff.
-func (e *Env) dispatch(self *Proc) baton {
-	e.cur = nil
+// nothing remains within the shard's horizon. self is the dispatching
+// process (nil for the driver or window worker); popping self's own wake
+// returns batonSelf so the caller continues without any channel handoff at
+// all. Callback events run inline in the dispatching goroutine — batched
+// back-to-back with no handoff.
+func (s *shard) dispatch(self *Proc) baton {
+	e := s.env
+	s.cur = nil
 	for {
-		if e.dead || e.err != nil || len(e.events) == 0 || e.events[0].at > e.horizon {
+		if e.dead || e.failed.Load() || len(s.events) == 0 || s.events[0].at > s.horizon {
 			return batonIdle
 		}
-		ev := e.pop()
-		e.now = ev.at
-		e.executed++
+		ev := s.pop()
+		s.now = ev.at
+		s.executed++
 		if ev.fn != nil {
 			ev.fn()
 			continue
 		}
 		p := ev.p
 		p.waking = false
-		e.cur = p
+		s.cur = p
 		if p == self {
 			return batonSelf
 		}
@@ -199,10 +295,12 @@ type procKilled struct{}
 
 // Close reaps every process still blocked in the environment — processes
 // left parked when RunUntil returned early on a panic, or blocked forever
-// on queues and resources no one will ever signal. Each is woken once and
-// unwound via a panic sentinel, so its goroutine exits and Live drops to
-// zero. The environment is unusable afterwards; Close is idempotent and
-// must be called from the driving goroutine, never from a process.
+// on queues and resources no one will ever signal — on every shard, not
+// just shard 0. Each is woken once and unwound via a panic sentinel, so its
+// goroutine exits and Live drops to zero; on a parallel environment the
+// per-shard window workers are then shut down too. The environment is
+// unusable afterwards; Close is idempotent and must be called from the
+// driving goroutine, never from a process.
 func (e *Env) Close() {
 	if e.dead {
 		return
@@ -210,28 +308,50 @@ func (e *Env) Close() {
 	e.dead = true
 	e.closed = true
 	for _, p := range e.procs {
-		if p.done {
+		if p.done.Load() {
 			continue
 		}
 		p.wake <- struct{}{}
-		<-e.parked
+		// The unwinding process dispatches on its own shard, finds the
+		// environment dead, and parks the baton there — which is the receipt
+		// that its goroutine has passed its last observable action.
+		<-p.sh.parked
 	}
 	e.procs = nil
-	e.events = nil
+	for _, s := range e.shs {
+		s.events = nil
+		if s.start != nil {
+			// Close the channel but leave the field set: the worker's own
+			// read of s.start (its range setup) has no ordering edge back to
+			// this goroutine if it never ran a window, so nilling the field
+			// here would race with it. e.dead already makes Close idempotent.
+			close(s.start) // window worker exits
+		}
+	}
 }
 
-// Spawn starts a new simulated process executing fn. The process begins at
-// the current simulated time, after the caller parks or returns. The name
-// appears in diagnostics only.
-func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+// Spawn starts a new simulated process executing fn on shard 0. The process
+// begins at the current simulated time, after the caller parks or returns.
+// The name appears in diagnostics only.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc { return e.SpawnOn(0, name, fn) }
+
+// SpawnOn starts a new simulated process confined to the given shard. On a
+// parallel environment a process must only touch primitives bound to its
+// own shard (see Queue.OnShard, Resource.OnShard, Signal.OnShard) and talk
+// to other shards through Proc.CrossAt. Spawning onto a foreign shard while
+// that shard is running is a data race; spawn at setup time, from the
+// driver, or onto the caller's own shard.
+func (e *Env) SpawnOn(shard int, name string, fn func(p *Proc)) *Proc {
+	s := e.shs[shard]
+	p := &Proc{env: e, sh: s, name: name, wake: make(chan struct{})}
+	e.spawnMu.Lock()
 	e.live++
 	// procs exists so Close can reap; drop finished entries once they
 	// dominate, so long runs with many short-lived processes stay O(live).
 	if len(e.procs) >= 64 && len(e.procs) >= 2*e.live {
 		kept := e.procs[:0]
 		for _, old := range e.procs {
-			if !old.done {
+			if !old.done.Load() {
 				kept = append(kept, old)
 			}
 		}
@@ -241,17 +361,20 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		e.procs = kept
 	}
 	e.procs = append(e.procs, p)
+	e.spawnMu.Unlock()
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				if _, killed := r.(procKilled); !killed && e.err == nil {
-					e.err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				if _, killed := r.(procKilled); !killed {
+					e.setErr(fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack()))
 				}
 			}
-			p.done = true
+			p.done.Store(true)
+			e.spawnMu.Lock()
 			e.live--
-			if e.dispatch(nil) == batonIdle {
-				e.parked <- struct{}{}
+			e.spawnMu.Unlock()
+			if s.dispatch(nil) == batonIdle {
+				s.parked <- struct{}{}
 			}
 		}()
 		<-p.wake
@@ -260,23 +383,28 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.scheduleWake(p, e.now)
+	e.scheduleWake(p, s.now)
 	return p
 }
 
 // Live reports the number of spawned processes that have not finished.
-func (e *Env) Live() int { return e.live }
+func (e *Env) Live() int {
+	e.spawnMu.Lock()
+	defer e.spawnMu.Unlock()
+	return e.live
+}
 
 // Proc is a simulated process: a goroutine that runs only when the scheduler
 // wakes it and must park (via Wait or a blocking kernel primitive) or return
 // to yield control. All Proc methods must be called from the process's own
-// goroutine.
+// goroutine. A process is confined to the shard it was spawned on.
 type Proc struct {
 	env    *Env
+	sh     *shard
 	name   string
 	wake   chan struct{}
 	waking bool
-	done   bool
+	done   atomic.Bool
 }
 
 // Name returns the diagnostic name given at Spawn.
@@ -285,25 +413,28 @@ func (p *Proc) Name() string { return p.name }
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
 
-// Now returns the current simulated time.
-func (p *Proc) Now() Time { return p.env.now }
+// Shard returns the shard index the process is confined to.
+func (p *Proc) Shard() int { return p.sh.id }
+
+// Now returns the current simulated time on the process's shard.
+func (p *Proc) Now() Time { return p.sh.now }
 
 // park yields the baton and blocks until some event wakes p. The caller
 // must have arranged a wake (a timer event or registration on a
 // queue/resource/signal waiter list) before parking. The parking goroutine
-// dispatches the next event itself; the baton returns to the driver only
-// when nothing is runnable.
+// dispatches the next event itself; the baton returns to the driver (or the
+// shard's window worker) only when nothing is runnable.
 func (p *Proc) park() {
 	if p.env.dead {
 		panic(procKilled{})
 	}
-	switch p.env.dispatch(p) {
+	switch p.sh.dispatch(p) {
 	case batonSelf:
 		// Our own wake was the next event: continue without blocking.
 	case batonHanded:
 		<-p.wake
 	case batonIdle:
-		p.env.parked <- struct{}{}
+		p.sh.parked <- struct{}{}
 		<-p.wake
 	}
 	if p.env.dead {
@@ -315,7 +446,7 @@ func (p *Proc) park() {
 // resource. Negative durations are treated as zero.
 //
 // When the wake this Wait would schedule is provably the next event — no
-// queued event precedes it and it stays inside the driver's horizon — the
+// queued event precedes it and it stays inside the shard's horizon — the
 // clock advances directly: no heap push, no park, no scheduler round trip.
 // The schedule is bit-identical to the slow path because the skipped event
 // would have been popped immediately with nothing able to run in between.
@@ -323,14 +454,14 @@ func (p *Proc) Wait(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	e := p.env
-	t := e.now.Add(d)
-	if e.cur == p && t <= e.horizon && (len(e.events) == 0 || e.events[0].at > t) {
-		e.now = t
-		e.executed++
+	s := p.sh
+	t := s.now.Add(d)
+	if s.cur == p && t <= s.horizon && (len(s.events) == 0 || s.events[0].at > t) {
+		s.now = t
+		s.executed++
 		return
 	}
-	e.scheduleWake(p, t)
+	p.env.scheduleWake(p, t)
 	p.park()
 }
 
@@ -346,7 +477,8 @@ func (p *Proc) Yield() { p.Wait(0) }
 // time), so pooling changes allocation behavior, never the event schedule.
 func (p *Proc) Suspend() { p.park() }
 
-// Resume schedules suspended process p to continue at the current time.
-// Resuming a process that is not suspended (or already has a wake pending)
-// panics.
-func (e *Env) Resume(p *Proc) { e.scheduleWake(p, e.now) }
+// Resume schedules suspended process p to continue at the current time on
+// p's shard. Resuming a process that is not suspended (or already has a
+// wake pending) panics. On a parallel environment Resume must come from p's
+// own shard (or a CrossAt callback delivered to it).
+func (e *Env) Resume(p *Proc) { e.scheduleWake(p, p.sh.now) }

@@ -13,6 +13,7 @@ package sim
 // drained) so engines can shut workers down deterministically.
 type Queue[T any] struct {
 	env      *Env
+	sh       *shard // owner shard: clock source and confinement domain
 	name     string
 	capacity int       // 0 = unbounded
 	buf      []slot[T] // ring; len is 0 or a power of two
@@ -34,8 +35,25 @@ type slot[T any] struct {
 }
 
 // NewQueue returns a queue with the given capacity; capacity 0 is unbounded.
+// The queue is bound to shard 0; see OnShard.
 func NewQueue[T any](env *Env, name string, capacity int) *Queue[T] {
-	return &Queue[T]{env: env, name: name, capacity: capacity}
+	return &Queue[T]{env: env, sh: env.shs[0], name: name, capacity: capacity}
+}
+
+// OnShard rebinds the queue to the given shard and returns it. On a parallel
+// environment every blocking use of a queue must come from a process on the
+// queue's shard; binding is a setup-time act.
+func (q *Queue[T]) OnShard(i int) *Queue[T] {
+	q.sh = q.env.shs[i]
+	return q
+}
+
+// confine panics when a process on a parallel environment blocks on a queue
+// owned by another shard — that is a cross-shard data race, not a wait.
+func (q *Queue[T]) confine(p *Proc) {
+	if q.env.parallel && p.sh != q.sh {
+		panic("sim: process " + p.name + " blocks on queue " + q.name + " owned by another shard")
+	}
 }
 
 // Len reports the number of queued items.
@@ -65,13 +83,14 @@ func (q *Queue[T]) bumpStats() {
 		q.maxLen = q.n
 	}
 	if w := q.getters.pop(); w != nil {
-		q.env.scheduleWake(w, q.env.now)
+		q.env.scheduleWake(w, q.sh.now)
 	}
 }
 
 // Put enqueues v, blocking while a bounded queue is full. Put panics if the
 // queue is closed: producers must be quiesced before Close.
 func (q *Queue[T]) Put(p *Proc, v T) {
+	q.confine(p)
 	for q.capacity > 0 && q.n >= q.capacity {
 		if q.closed {
 			panic("sim: put on closed queue " + q.name)
@@ -108,7 +127,7 @@ func (q *Queue[T]) PutFront(v T) {
 		q.grow()
 	}
 	q.head = (q.head - 1) & (len(q.buf) - 1)
-	q.buf[q.head] = slot[T]{v: v, stamp: q.env.now}
+	q.buf[q.head] = slot[T]{v: v, stamp: q.sh.now}
 	q.n++
 	q.bumpStats()
 }
@@ -117,7 +136,7 @@ func (q *Queue[T]) enqueue(v T) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)&(len(q.buf)-1)] = slot[T]{v: v, stamp: q.env.now}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = slot[T]{v: v, stamp: q.sh.now}
 	q.n++
 	q.bumpStats()
 }
@@ -125,6 +144,7 @@ func (q *Queue[T]) enqueue(v T) {
 // Get dequeues the oldest item, blocking while the queue is empty. It
 // returns ok=false only when the queue is closed and drained.
 func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	q.confine(p)
 	for q.n == 0 {
 		if q.closed {
 			var zero T
@@ -150,9 +170,9 @@ func (q *Queue[T]) dequeue() T {
 	q.buf[q.head] = slot[T]{} // release the item reference
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
-	q.sumWait += q.env.now.Sub(s.stamp)
+	q.sumWait += q.sh.now.Sub(s.stamp)
 	if w := q.putters.pop(); w != nil {
-		q.env.scheduleWake(w, q.env.now)
+		q.env.scheduleWake(w, q.sh.now)
 	}
 	return s.v
 }
@@ -165,7 +185,7 @@ func (q *Queue[T]) Close() {
 	}
 	q.closed = true
 	for w := q.getters.pop(); w != nil; w = q.getters.pop() {
-		q.env.scheduleWake(w, q.env.now)
+		q.env.scheduleWake(w, q.sh.now)
 	}
 }
 
@@ -174,14 +194,23 @@ func (q *Queue[T]) Close() {
 // Await returns immediately. Multiple processes may await one signal.
 type Signal struct {
 	env     *Env
+	sh      *shard // owner shard: clock source and confinement domain
 	fired   bool
 	val     any
 	waiters []*Proc
 	onFire  []func(any)
 }
 
-// NewSignal returns an unfired signal.
-func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+// NewSignal returns an unfired signal, bound to shard 0; see OnShard.
+func NewSignal(env *Env) *Signal { return &Signal{env: env, sh: env.shs[0]} }
+
+// OnShard rebinds the signal to the given shard and returns it. On a
+// parallel environment Await and Fire must come from the signal's shard (a
+// CrossAt callback delivered to that shard counts).
+func (s *Signal) OnShard(i int) *Signal {
+	s.sh = s.env.shs[i]
+	return s
+}
 
 // Fire completes the signal with value v, runs OnFire callbacks, and wakes
 // all waiters. Firing an already-fired signal panics: completions must be
@@ -197,7 +226,7 @@ func (s *Signal) Fire(v any) {
 	}
 	s.onFire = nil
 	for _, w := range s.waiters {
-		s.env.scheduleWake(w, s.env.now)
+		s.env.scheduleWake(w, s.sh.now)
 	}
 	s.waiters = nil
 }
@@ -223,6 +252,9 @@ func (s *Signal) Value() any { return s.val }
 
 // Await blocks until the signal fires and returns its value.
 func (s *Signal) Await(p *Proc) any {
+	if s.env.parallel && p.sh != s.sh {
+		panic("sim: process " + p.name + " awaits a signal owned by another shard")
+	}
 	for !s.fired {
 		s.waiters = append(s.waiters, p)
 		p.park()

@@ -7,6 +7,7 @@ package sim
 // Resource also accumulates busy time so harnesses can report utilization.
 type Resource struct {
 	env      *Env
+	sh       *shard // owner shard: clock source and confinement domain
 	name     string
 	capacity int
 	inUse    int
@@ -23,24 +24,35 @@ func NewResource(env *Env, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{env: env, name: name, capacity: capacity}
+	return &Resource{env: env, sh: env.shs[0], name: name, capacity: capacity}
+}
+
+// OnShard rebinds the resource to the given shard and returns it. On a
+// parallel environment every use of a resource must come from a process on
+// the resource's shard; binding is a setup-time act.
+func (r *Resource) OnShard(i int) *Resource {
+	r.sh = r.env.shs[i]
+	return r
 }
 
 func (r *Resource) stamp() {
-	now := r.env.now
+	now := r.sh.now
 	r.busy += Duration(now-r.lastStamp) * Duration(r.inUse)
 	r.lastStamp = now
 }
 
 // Acquire claims one slot, blocking in FIFO order while none is free.
 func (r *Resource) Acquire(p *Proc) {
+	if r.env.parallel && p.sh != r.sh {
+		panic("sim: process " + p.name + " acquires resource " + r.name + " owned by another shard")
+	}
 	r.acquires++
-	start := r.env.now
+	start := r.sh.now
 	for r.inUse >= r.capacity {
 		r.waiters.push(p)
 		p.park()
 	}
-	r.waited += r.env.now.Sub(start)
+	r.waited += r.sh.now.Sub(start)
 	r.stamp()
 	r.inUse++
 }
@@ -64,7 +76,7 @@ func (r *Resource) Release() {
 	r.stamp()
 	r.inUse--
 	if w := r.waiters.pop(); w != nil {
-		r.env.scheduleWake(w, r.env.now)
+		r.env.scheduleWake(w, r.sh.now)
 	}
 }
 
@@ -93,7 +105,7 @@ func (r *Resource) Acquires() int64 { return r.acquires }
 
 // Utilization returns busy slot-time divided by capacity × elapsed, in [0,1].
 func (r *Resource) Utilization() float64 {
-	elapsed := Duration(r.env.now)
+	elapsed := Duration(r.sh.now)
 	if elapsed <= 0 {
 		return 0
 	}
