@@ -229,6 +229,56 @@ func kernelParallelStats() parallelSection {
 	return sec
 }
 
+// engineParallelSection is the -benchjson "engine_parallel" section: one
+// engine-on-shard sweep point — 8-socket sharded-log DORA on YCSB — run end
+// to end on the serial and the concurrent kernel. The two runs produce
+// bit-identical digests (the equivalence matrix in internal/bench gates
+// that); the wall-clock ratio is what engine-on-shard execution buys, and
+// only shows a speedup when the host grants multiple cores (see
+// parallelSection.HostCPUs).
+type engineParallelSection struct {
+	Sockets          int     `json:"sockets"`
+	SerialWallMs     float64 `json:"serial_wall_ms"`
+	ConcurrentWallMs float64 `json:"concurrent_wall_ms"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// engineParallelStats times the engine-on-shard point on both kernels, one
+// warm-up pass first like kernelStats. Fixed windows, independent of
+// -quick, so baselines compare across invocations.
+func engineParallelStats() engineParallelSection {
+	spec := bench.ScalingSpec{
+		Sockets:   []int{8},
+		Workloads: []bench.WorkloadSpec{ycsbSpec()},
+		Engines: []bench.ScalingEngine{{Name: "dora", On: func(cfg *platform.Config, partitions, window int) bench.EngineSpec {
+			return bench.DORAOn(cfg, partitions)
+		}}},
+		TerminalsPerSocket: 8,
+		ShardedLog:         true,
+		Warmup:             5 * sim.Millisecond,
+		Measure:            15 * sim.Millisecond,
+	}
+	run := func(par bool) float64 {
+		s := spec
+		s.KernelParallel = par
+		start := time.Now()
+		for _, r := range s.Run(bench.Options{Parallel: 1}) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / 1e6
+	}
+	run(false) // warm up
+	sec := engineParallelSection{Sockets: 8}
+	sec.SerialWallMs = run(false)
+	sec.ConcurrentWallMs = run(true)
+	if sec.ConcurrentWallMs > 0 {
+		sec.Speedup = sec.SerialWallMs / sec.ConcurrentWallMs
+	}
+	return sec
+}
+
 // kernelDoc is the -benchjson document: the perf-trajectory baseline a PR
 // compares against (BENCH_kernel.json at the repo root).
 type kernelDoc struct {
@@ -238,8 +288,9 @@ type kernelDoc struct {
 		AllocsPerEvent float64 `json:"allocs_per_event"`
 		Events         uint64  `json:"events_measured"`
 	} `json:"kernel"`
-	Parallel    parallelSection `json:"parallel"`
-	Experiments []expWall       `json:"experiments"`
+	Parallel       parallelSection       `json:"parallel"`
+	EngineParallel engineParallelSection `json:"engine_parallel"`
+	Experiments    []expWall             `json:"experiments"`
 }
 
 func writeBenchJSON(path string) error {
@@ -247,6 +298,7 @@ func writeBenchJSON(path string) error {
 	doc.Suite = "bionicbench-kernel"
 	doc.Kernel.EventsPerSec, doc.Kernel.AllocsPerEvent, doc.Kernel.Events = kernelStats()
 	doc.Parallel = kernelParallelStats()
+	doc.EngineParallel = engineParallelStats()
 	doc.Experiments = expWalls
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -273,8 +273,10 @@ func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	// the adaptive stepping rationale).
 	var meta core.CheckpointMeta
 	ckDone := false
+	// A replicated engine never shards itself over the kernel, so the set
+	// slice here is always single-element and this is exactly CheckpointAll.
 	env.Spawn("checkpointer", func(p *sim.Proc) {
-		meta = core.CheckpointAll(p, ck.Tables(), ck.DiskManager(), ck.LogSet())
+		meta = core.CheckpointAllSets(p, ck.TableSets(), ck.DiskManager(), ck.LogSet())
 		ckDone = true
 	})
 	step := sim.Time(1 * sim.Millisecond)

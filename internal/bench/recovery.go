@@ -73,10 +73,12 @@ type RecoveryResult struct {
 	Err error
 }
 
-// checkpointable is the engine surface the crash harness needs.
+// checkpointable is the engine surface the crash harness needs. TableSets
+// is the socket-indexed checkpoint surface: one set per socket on an
+// engine-sharded machine, a single-element slice otherwise.
 type checkpointable interface {
 	core.Engine
-	Tables() map[uint16]*btree.Tree
+	TableSets() []map[uint16]*btree.Tree
 	DiskManager() *storage.DiskManager
 	LogSet() *wal.LogSet
 }
@@ -168,10 +170,28 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	// checkpointer here, so overshooting its completion instant is free.
 	var meta core.CheckpointMeta
 	ckDone := false
-	env.Spawn("checkpointer", func(p *sim.Proc) {
-		meta = core.CheckpointAll(p, ck.Tables(), ck.DiskManager(), ck.LogSet())
-		ckDone = true
-	})
+	sets := ck.TableSets()
+	shardedEng := len(sets) > 1
+	if shardedEng {
+		// Engine-on-shard machine: no single process may walk every socket's
+		// trees, so capture the image host-side right here — the kernel has
+		// not started, which is the strongest barrier there is — and charge
+		// the captured spans to the (shard-0) checkpoint device from a
+		// shard-0 process.
+		var spans []int
+		meta, spans = core.CheckpointAllSetsHost(sets, ck.DiskManager(), ck.LogSet())
+		env.SpawnOn(0, "checkpointer", func(p *sim.Proc) {
+			for _, span := range spans {
+				ck.DiskManager().Device().Transfer(p, span)
+			}
+			ckDone = true
+		})
+	} else {
+		env.Spawn("checkpointer", func(p *sim.Proc) {
+			meta = core.CheckpointAllSets(p, sets, ck.DiskManager(), ck.LogSet())
+			ckDone = true
+		})
+	}
 	step := sim.Time(1 * sim.Millisecond)
 	for !ckDone {
 		before := env.Executed()
@@ -189,16 +209,23 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	// world mid-flight. No drain, no Close — staged and buffered log bytes
 	// die with the machine; only the stores' durable bytes survive.
 	endT := env.Now() + sim.Time(warmup) + sim.Time(measure)
+	pl := eng.Platform()
 	for i := 0; i < terminals; i++ {
 		i := i
 		tr := root.Split()
-		env.Spawn(fmt.Sprintf("terminal%d", i), func(tp *sim.Proc) {
-			term := &core.Terminal{ID: i, P: tp, Core: eng.Platform().Cores[i%len(eng.Platform().Cores)], R: tr}
+		tcore := pl.Cores[i%len(pl.Cores)]
+		body := func(tp *sim.Proc) {
+			term := &core.Terminal{ID: i, P: tp, Core: tcore, R: tr}
 			for {
 				_, logic := wl.NextTxn(term.R)
 				eng.Submit(term, logic)
 			}
-		})
+		}
+		if shardedEng {
+			env.SpawnOn(pl.ShardOfCore(tcore), fmt.Sprintf("terminal%d", i), body)
+		} else {
+			env.Spawn(fmt.Sprintf("terminal%d", i), body)
+		}
 	}
 	if err := env.RunUntil(endT); err != nil {
 		res.Err = err
@@ -210,35 +237,35 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	defs := wl.Tables()
 
 	// --- Recovery boots: serial then parallel, each on a fresh machine.
-	boot := func(parallel bool) (core.RecoveryStats, *platform.Platform, map[uint16]*btree.Tree, error) {
+	boot := func(parallel bool) (core.RecoveryStats, *platform.Platform, []map[uint16]*btree.Tree, error) {
 		env2 := sim.NewEnv()
 		defer env2.Close()
 		pl2 := platform.New(env2, cfg)
 		enableParallelKernel(env2, pl2, kernelParallel)
 		dm2 := ck.DiskManager().Rebind(pl2.Disk)
 		var st core.RecoveryStats
-		var trees map[uint16]*btree.Tree
+		var recovered []map[uint16]*btree.Tree
 		var err error
 		env2.Spawn("recovery", func(p *sim.Proc) {
-			trees, st, err = core.RecoverMeasured(p, pl2, defs, meta, dm2, logs, parallel)
+			recovered, st, err = core.RecoverMeasured(p, pl2, defs, meta, dm2, logs, parallel)
 		})
 		if runErr := env2.Run(); runErr != nil {
 			return st, pl2, nil, runErr
 		}
-		return st, pl2, trees, err
+		return st, pl2, recovered, err
 	}
 
-	serial, _, serialTrees, err := boot(false)
+	serial, _, serialSets, err := boot(false)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	par, pl2, parTrees, err := boot(true)
+	par, pl2, parSets, err := boot(true)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	if d1, d2 := core.ContentDigest(serialTrees), core.ContentDigest(parTrees); d1 != d2 {
+	if d1, d2 := core.ContentDigestSets(serialSets), core.ContentDigestSets(parSets); d1 != d2 {
 		res.Err = fmt.Errorf("serial and parallel replay diverged: %s vs %s", d1, d2)
 		return res
 	}
@@ -250,8 +277,10 @@ func runRecoveryPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 	res.ParallelReplay = par.Replay
 	res.TotalSim = par.SimTime
 	res.Joules = pl2.Energy(platform.Snapshot{}, pl2.Snapshot()).Total()
-	for _, tree := range parTrees {
-		res.Rows += int64(tree.Size())
+	for _, set := range parSets {
+		for _, tree := range set {
+			res.Rows += int64(tree.Size())
+		}
 	}
 	return res
 }

@@ -121,6 +121,12 @@ func (e *Conventional) ScanRaw(table uint16, from, to []byte, fn func(k, v []byt
 // Tables exposes the primary trees for checkpointing.
 func (e *Conventional) Tables() map[uint16]*btree.Tree { return e.trees }
 
+// TableSets is the socket-indexed checkpoint surface; a conventional engine
+// keeps one shared tree set.
+func (e *Conventional) TableSets() []map[uint16]*btree.Tree {
+	return []map[uint16]*btree.Tree{e.trees}
+}
+
 // Warm marks every tree page buffer-pool resident, as a production system
 // would be after its working set is faulted in. The harness calls it after
 // population so measurements start from a warm cache.

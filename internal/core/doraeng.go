@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"sort"
 
 	"bionicdb/internal/btree"
@@ -33,6 +34,20 @@ type DORAEngine struct {
 	// Software data path (Overlay off).
 	trees map[uint16]*btree.Tree
 	pool  *bufferpool.Pool
+
+	// Engine-on-shard state (engineSharded true): every engine-side
+	// structure a partition worker touches is replicated per socket and
+	// homed on that socket's kernel shard, so the parallel kernel can run
+	// the sockets concurrently. Socket-indexed throughout.
+	engineSharded bool
+	nSock         int
+	treeSets      []map[uint16]*btree.Tree
+	pools         []*bufferpool.Pool
+	regs          []*dora.Registry
+	bds           []*stats.Breakdown
+	ctrs          []*stats.Counter
+	tracesBy      []btree.TracePool
+	kvsBy         []sim.ScratchPool[kvPair]
 
 	// Hardware data path (Overlay on).
 	ov    *overlay.Store
@@ -92,6 +107,19 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 	// device), otherwise the classic single central stream — structurally
 	// identical to the pre-sharding engine.
 	e.sharded = cfg.ShardedLog()
+	// Engine-on-shard gate: the pure-software data-oriented engine on a
+	// multi-socket machine with a per-socket log and no replication homes
+	// each socket's partitions, trees, pool, locks and log shard on that
+	// socket's kernel shard. The gate is a pure function of the config, so
+	// it is active identically under serial and concurrent execution —
+	// which is what keeps serial and parallel digests bit-identical. Every
+	// other configuration keeps the classic shard-0 layout untouched.
+	e.engineSharded = e.sharded && pl.NumSockets() > 1 && off == (Offloads{}) &&
+		window == 1 && !cfg.Replicated()
+	if e.engineSharded {
+		e.nSock = pl.NumSockets()
+		pl.Confine()
+	}
 	nShards := 1
 	if e.sharded {
 		nShards = pl.NumSockets()
@@ -110,7 +138,12 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 			e.hwLogs = append(e.hwLogs, hw)
 			app = hw
 		} else {
-			m := wal.NewManager(pl, st, wal.DefaultManagerConfig())
+			var m *wal.Manager
+			if e.engineSharded {
+				m = wal.NewManagerOn(pl, st, wal.DefaultManagerConfig(), s)
+			} else {
+				m = wal.NewManager(pl, st, wal.DefaultManagerConfig())
+			}
 			e.logMgrs = append(e.logMgrs, m)
 			app = m
 		}
@@ -120,7 +153,13 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 	if cfg.Replicated() {
 		e.logSet.AttachReplication(wal.NewReplicaSet(e.logSet))
 	}
+	if e.engineSharded {
+		e.logSet.Confine()
+	}
 	e.tm = txn.NewManager(env, e.logSet, txn.DefaultConfig())
+	if e.engineSharded {
+		e.tm.ShardPerSocket(e.nSock)
+	}
 
 	if off.Overlay || off.Tree {
 		e.probe = treeprobe.New(pl, treeprobe.DefaultConfig())
@@ -130,6 +169,38 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 		for _, def := range tables {
 			e.defs[def.ID] = def
 			e.ov.CreateTable(def.ID, def.Order)
+		}
+	} else if e.engineSharded {
+		// One tree set, pool, waits-for registry, breakdown, counter and
+		// scratch pool per socket. Page IDs stride by socket (one shared
+		// allocator per socket across its tables) so they stay globally
+		// unique without a shared counter; node addresses come from the
+		// socket's private arena.
+		e.treeSets = make([]map[uint16]*btree.Tree, e.nSock)
+		e.pools = make([]*bufferpool.Pool, e.nSock)
+		e.regs = make([]*dora.Registry, e.nSock)
+		e.bds = make([]*stats.Breakdown, e.nSock)
+		e.ctrs = make([]*stats.Counter, e.nSock)
+		e.tracesBy = make([]btree.TracePool, e.nSock)
+		e.kvsBy = make([]sim.ScratchPool[kvPair], e.nSock)
+		for s := 0; s < e.nSock; s++ {
+			s := s
+			e.pools[s] = bufferpool.New(pl, pl.DataDisk(s), bufferpool.DefaultConfig(1<<18, cfg.PageSize)).Confine(pl.ShardOf(s))
+			e.regs[s] = dora.NewRegistry()
+			e.bds[s] = &stats.Breakdown{}
+			e.ctrs[s] = stats.NewCounter()
+			alloc := e.dm.AllocatorOn(s, e.nSock)
+			set := make(map[uint16]*btree.Tree, len(tables))
+			for _, def := range tables {
+				def := def
+				e.defs[def.ID] = def
+				set[def.ID] = btree.New(btree.Config{
+					Order:  def.Order,
+					NextID: alloc,
+					AddrOf: func(id storage.PageID, size int) uint64 { return pl.AllocHostOn(s, cfg.PageSize) },
+				})
+			}
+			e.treeSets[s] = set
 		}
 	} else {
 		e.pool = bufferpool.New(pl, pl.Disk, bufferpool.DefaultConfig(1<<18, cfg.PageSize))
@@ -154,10 +225,18 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 	// owns core i and socket i/CoresPerSocket — the shard layout the
 	// cross-shard commit path and the scaling sweep assume.
 	for i := 0; i < scheme.Partitions; i++ {
-		pt := dora.NewPartition(pl, e.reg, i, pl.Cores[i%len(pl.Cores)], dora.DefaultCosts(), window, e.bd)
+		core := pl.Cores[i%len(pl.Cores)]
+		reg, bd := e.reg, e.bd
+		if e.engineSharded {
+			reg, bd = e.regs[core.SocketID()], e.bds[core.SocketID()]
+		}
+		pt := dora.NewPartition(pl, reg, i, core, dora.DefaultCosts(), window, bd)
 		if e.qeng != nil {
 			pt.HWQueue = e.qeng.Unit
 			pt.HWQueueCycles = e.qeng.OpCycles()
+		}
+		if e.engineSharded {
+			pt.Confine()
 		}
 		pt.Start()
 		e.parts = append(e.parts, pt)
@@ -165,17 +244,48 @@ func newDataOriented(env *sim.Env, cfg *platform.Config, tables []TableDef, sche
 	return e
 }
 
+// EngineSharded reports whether the engine homes its per-socket state on
+// the kernel shards (the engine-on-shard execution mode).
+func (e *DORAEngine) EngineSharded() bool { return e.engineSharded }
+
 // Name implements Engine.
 func (e *DORAEngine) Name() string { return e.name }
 
 // Platform implements Engine.
 func (e *DORAEngine) Platform() *platform.Platform { return e.pl }
 
-// Breakdown implements Engine.
-func (e *DORAEngine) Breakdown() *stats.Breakdown { return e.bd }
+// Breakdown implements Engine. On an engine-sharded run it returns a fresh
+// merge of the per-socket breakdowns, summed in socket order; callers
+// snapshot the value, so the fresh allocation is invisible to them.
+func (e *DORAEngine) Breakdown() *stats.Breakdown {
+	if !e.engineSharded {
+		return e.bd
+	}
+	out := &stats.Breakdown{}
+	out.AddAll(e.bd)
+	for _, bd := range e.bds {
+		out.AddAll(bd)
+	}
+	return out
+}
 
-// Counters implements Engine.
-func (e *DORAEngine) Counters() *stats.Counter { return e.ctr }
+// Counters implements Engine. Engine-sharded runs merge the per-socket
+// counters in socket order.
+func (e *DORAEngine) Counters() *stats.Counter {
+	if !e.engineSharded {
+		return e.ctr
+	}
+	out := stats.NewCounter()
+	for _, name := range e.ctr.Names() {
+		out.Inc(name, e.ctr.Get(name))
+	}
+	for _, c := range e.ctrs {
+		for _, name := range c.Names() {
+			out.Inc(name, c.Get(name))
+		}
+	}
+	return out
+}
 
 // Offloads reports the enabled hardware units.
 func (e *DORAEngine) Offloads() Offloads { return e.off }
@@ -210,8 +320,12 @@ func (e *DORAEngine) ReplStats() []stats.ReplicationStats {
 // DiskManager exposes the checkpoint page store.
 func (e *DORAEngine) DiskManager() *storage.DiskManager { return e.dm }
 
-// Tables exposes the primary trees for checkpointing (overlay or host).
+// Tables exposes the primary trees for checkpointing (overlay or host). An
+// engine-sharded engine has no single tree per table; use TableSets.
 func (e *DORAEngine) Tables() map[uint16]*btree.Tree {
+	if e.engineSharded {
+		panic("core: Tables() on an engine-sharded engine; use TableSets")
+	}
 	if e.ov == nil {
 		return e.trees
 	}
@@ -222,6 +336,20 @@ func (e *DORAEngine) Tables() map[uint16]*btree.Tree {
 	return out
 }
 
+// TableSets exposes the socket-indexed tree sets of an engine-sharded
+// engine. On any other engine it returns the single table set at index 0.
+func (e *DORAEngine) TableSets() []map[uint16]*btree.Tree {
+	if e.engineSharded {
+		return e.treeSets
+	}
+	return []map[uint16]*btree.Tree{e.Tables()}
+}
+
+// socketOf returns the socket owning table/key's partition.
+func (e *DORAEngine) socketOf(table uint16, key []byte) int {
+	return e.parts[e.scheme.Route(table, key)].Socket()
+}
+
 // Registry exposes the waits-for registry (deadlock statistics).
 func (e *DORAEngine) Registry() *dora.Registry { return e.reg }
 
@@ -229,6 +357,15 @@ func (e *DORAEngine) Registry() *dora.Registry { return e.reg }
 // overlay is resident by construction). The harness calls it after
 // population so measurements start from a warm cache.
 func (e *DORAEngine) Warm() {
+	if e.engineSharded {
+		for s, set := range e.treeSets {
+			pool := e.pools[s]
+			for _, id := range sortedKeys(set) {
+				set[id].Pages(func(id storage.PageID, leaf bool) { pool.Prewarm(id) })
+			}
+		}
+		return
+	}
 	if e.pool == nil {
 		return
 	}
@@ -252,8 +389,13 @@ func sortedKeys[K interface {
 	return keys
 }
 
-// Load implements Engine.
+// Load implements Engine. Engine-sharded engines route each row to its
+// owning partition's socket tree.
 func (e *DORAEngine) Load(table uint16, key, val []byte) {
+	if e.engineSharded {
+		e.treeSets[e.socketOf(table, key)][table].Put(key, val, nil)
+		return
+	}
 	if e.ov != nil {
 		e.ov.LoadRaw(table, key, val)
 		return
@@ -263,11 +405,32 @@ func (e *DORAEngine) Load(table uint16, key, val []byte) {
 
 // ReadRaw implements Engine.
 func (e *DORAEngine) ReadRaw(table uint16, key []byte) ([]byte, bool) {
+	if e.engineSharded {
+		return e.treeSets[e.socketOf(table, key)][table].Get(key, nil)
+	}
 	return e.Tables()[table].Get(key, nil)
 }
 
-// ScanRaw implements Engine.
+// ScanRaw implements Engine. An engine-sharded engine's rows are spread
+// over disjoint per-socket trees, so the scan collects from every socket
+// and merges by key before yielding — the global key order callers expect.
 func (e *DORAEngine) ScanRaw(table uint16, from, to []byte, fn func(k, v []byte) bool) {
+	if e.engineSharded {
+		var rows []kvPair
+		for _, set := range e.treeSets {
+			set[table].Scan(from, to, nil, func(k, v []byte) bool {
+				rows = append(rows, kvPair{k, v})
+				return true
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].k, rows[j].k) < 0 })
+		for _, r := range rows {
+			if !fn(r.k, r.v) {
+				return
+			}
+		}
+		return
+	}
 	e.Tables()[table].Scan(from, to, nil, fn)
 }
 
@@ -292,24 +455,29 @@ func (e *DORAEngine) Close() {
 
 // Submit implements Engine.
 func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
+	bd, ctr := e.bd, e.ctr
+	if e.engineSharded {
+		soc := term.Core.SocketID()
+		bd, ctr = e.bds[soc], e.ctrs[soc]
+	}
 	for attempt := 0; ; attempt++ {
-		task := e.pl.NewTask(term.P, term.Core, e.bd)
+		task := e.pl.NewTask(term.P, term.Core, bd)
 		task.Exec(stats.CompFrontEnd, frontEndInstr)
 		tx := e.tm.Begin(task)
 		dtx := &doraTx{e: e, task: task, tx: tx, term: term}
 		ok := logic(dtx)
 		if dtx.refused {
 			e.rollback(term, task, dtx)
-			e.ctr.Inc("aborts.deadlock", 1)
+			ctr.Inc("aborts.deadlock", 1)
 			if attempt < maxRetries {
 				continue
 			}
-			e.ctr.Inc("aborts.giveup", 1)
+			ctr.Inc("aborts.giveup", 1)
 			return false
 		}
 		if !ok {
 			e.rollback(term, task, dtx)
-			e.ctr.Inc("aborts.user", 1)
+			ctr.Inc("aborts.user", 1)
 			return false
 		}
 		sig := e.tm.Commit(task, tx)
@@ -329,9 +497,19 @@ func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
 		e.crossShardDecision(term, task, dtx, true)
 		e.releaseLocks(task, dtx)
 		sig.Await(term.P)
-		e.ctr.Inc("commits", 1)
+		ctr.Inc("commits", 1)
 		return true
 	}
+}
+
+// newRVP builds a rendezvous for a fan-out coordinated by term: homed on
+// the coordinator's kernel shard when the engine is sharded (remote votes
+// arrive as cross-shard messages), the classic unhomed RVP otherwise.
+func (e *DORAEngine) newRVP(term *Terminal, n int) *dora.RVP {
+	if e.engineSharded {
+		return dora.NewRVPOn(e.pl.Env, n, e.pl.ShardOf(term.Core.SocketID()))
+	}
+	return dora.NewRVP(e.pl.Env, n)
 }
 
 // crossShardSockets returns the distinct sockets of the transaction's
@@ -388,15 +566,19 @@ func (e *DORAEngine) crossShardDecision(term *Terminal, task *platform.Task, dtx
 			}
 		}
 	}
+	ctr := e.ctr
+	if e.engineSharded {
+		ctr = e.ctrs[home]
+	}
 	if commit {
-		e.ctr.Inc("crossshard.commits", 1)
+		ctr.Inc("crossshard.commits", 1)
 	} else {
-		e.ctr.Inc("crossshard.aborts", 1)
+		ctr.Inc("crossshard.aborts", 1)
 	}
 	if len(reps) == 0 {
 		return // every involved socket is the coordinator's own
 	}
-	rvp := dora.NewRVP(e.pl.Env, len(reps))
+	rvp := e.newRVP(term, len(reps))
 	for _, pidx := range reps {
 		e.parts[pidx].Enqueue(task, &dora.Action{
 			TxnID:       dtx.tx.ID,
@@ -430,12 +612,12 @@ func (e *DORAEngine) rollback(term *Terminal, task *platform.Task, dtx *doraTx) 
 			pidx := e.scheme.Route(u.Table, u.Key)
 			groups[pidx] = append(groups[pidx], u)
 		}
-		rvp := dora.NewRVP(e.pl.Env, len(groups))
+		rvp := e.newRVP(term, len(groups))
 		for _, pidx := range sortedKeys(groups) {
 			recs := groups[pidx]
 			e.parts[pidx].Enqueue(task, &dora.Action{TxnID: dtx.tx.ID, Priority: true, RVP: rvp, ReplySocket: term.Core.SocketID(), Run: func(wt *platform.Task, pt *dora.Partition) bool {
 				for _, u := range recs {
-					e.applyUndoRaw(wt, u)
+					e.applyUndoRaw(wt, u, pt.Socket())
 				}
 				return true
 			}})
@@ -465,8 +647,9 @@ func (e *DORAEngine) releaseLocks(task *platform.Task, dtx *doraTx) {
 }
 
 // applyUndoRaw reverses one operation without logging, charged on the
-// partition worker.
-func (e *DORAEngine) applyUndoRaw(task *platform.Task, u txn.UndoRec) {
+// partition worker; soc is the worker's socket (its tree set and pool on
+// an engine-sharded run).
+func (e *DORAEngine) applyUndoRaw(task *platform.Task, u txn.UndoRec, soc int) {
 	if e.ov != nil {
 		switch u.Type {
 		case wal.RecInsert:
@@ -476,24 +659,57 @@ func (e *DORAEngine) applyUndoRaw(task *platform.Task, u txn.UndoRec) {
 		}
 		return
 	}
-	tree := e.trees[u.Table]
-	tr := e.traces.Get()
+	tree := e.treeFor(soc, u.Table)
+	tp := e.tracesFor(soc)
+	tr := tp.Get()
 	switch u.Type {
 	case wal.RecInsert:
 		tree.Delete(u.Key, tr)
 	case wal.RecUpdate, wal.RecDelete:
 		tree.Put(u.Key, u.Before, tr)
 	}
-	e.chargeVisits(task, tr, true)
-	e.traces.Put(tr)
+	e.chargeVisits(task, e.poolFor(soc), tr, true)
+	tp.Put(tr)
+}
+
+// treeFor returns table's tree for a worker on socket soc.
+func (e *DORAEngine) treeFor(soc int, table uint16) *btree.Tree {
+	if e.engineSharded {
+		return e.treeSets[soc][table]
+	}
+	return e.trees[table]
+}
+
+// poolFor returns the buffer pool for a worker on socket soc.
+func (e *DORAEngine) poolFor(soc int) *bufferpool.Pool {
+	if e.engineSharded {
+		return e.pools[soc]
+	}
+	return e.pool
+}
+
+// tracesFor returns the trace scratch pool for a worker on socket soc.
+func (e *DORAEngine) tracesFor(soc int) *btree.TracePool {
+	if e.engineSharded {
+		return &e.tracesBy[soc]
+	}
+	return &e.traces
+}
+
+// kvsFor returns the scan scratch pool for a worker on socket soc.
+func (e *DORAEngine) kvsFor(soc int) *sim.ScratchPool[kvPair] {
+	if e.engineSharded {
+		return &e.kvsBy[soc]
+	}
+	return &e.kvs
 }
 
 // chargeVisits is the software data path (no page latches — PLP): a
 // buffer-pool fix plus the node search per visit. A binary search over a
 // wide node touches several cache lines, one per probe pair.
-func (e *DORAEngine) chargeVisits(task *platform.Task, tr *btree.Trace, write bool) {
+func (e *DORAEngine) chargeVisits(task *platform.Task, pool *bufferpool.Pool, tr *btree.Trace, write bool) {
 	for _, v := range tr.Visits {
-		e.pool.Fix(task, v.ID)
+		pool.Fix(task, v.ID)
 		task.Access(stats.CompBtree, v.Addr, 64)
 		for i := 1; i < (v.Cmps+1)/2; i++ {
 			task.Access(stats.CompBtree, v.Addr+uint64(64*i), 16)
@@ -503,11 +719,11 @@ func (e *DORAEngine) chargeVisits(task *platform.Task, tr *btree.Trace, write bo
 			// Record locate/copy and slot bookkeeping at the leaf.
 			task.Exec(stats.CompBtree, 110)
 		}
-		e.pool.Unfix(task, v.ID, write && v.Leaf)
+		pool.Unfix(task, v.ID, write && v.Leaf)
 	}
 	for _, id := range tr.NewPages {
 		// Pages born by splits enter the pool without I/O.
-		e.pool.Prewarm(id)
+		pool.Prewarm(id)
 	}
 	if tr.Splits > 0 {
 		task.Exec(stats.CompBtree, 1500*tr.Splits)
@@ -579,15 +795,29 @@ func (t *doraTx) Phase(actions ...Action) bool {
 	if len(actions) == 0 {
 		return true
 	}
-	rvp := dora.NewRVP(t.e.pl.Env, len(actions))
+	e := t.e
+	rvp := e.newRVP(t.term, len(actions))
 	das := make([]*dora.Action, len(actions))
+	// Engine-sharded: each action logs into a private write buffer on its
+	// partition's shard instead of mutating the shared transaction, and the
+	// coordinator merges the buffers in action order after the rendezvous —
+	// a fan-out order independent of which shard finished first.
+	var ws []*txn.Writes
+	if e.engineSharded {
+		ws = make([]*txn.Writes, len(actions))
+	}
 	for i, a := range actions {
-		pidx := t.e.scheme.Route(a.Table, a.Key)
+		pidx := e.scheme.Route(a.Table, a.Key)
 		t.involve(pidx)
 		body := a.Body
 		lockKey := ""
 		if !a.NoLock {
-			lockKey = t.e.scheme.Entity(a.Table, a.Key)
+			lockKey = e.scheme.Entity(a.Table, a.Key)
+		}
+		ctx := &doraCtx{e: e, tx: t.tx, soc: e.parts[pidx].Socket()}
+		if e.engineSharded {
+			ctx.w = &txn.Writes{}
+			ws[i] = ctx.w
 		}
 		da := &dora.Action{
 			TxnID:       t.tx.ID,
@@ -595,14 +825,20 @@ func (t *doraTx) Phase(actions ...Action) bool {
 			RVP:         rvp,
 			ReplySocket: t.term.Core.SocketID(),
 			Run: func(wt *platform.Task, pt *dora.Partition) bool {
-				return body(&doraCtx{e: t.e, task: wt, tx: t.tx})
+				ctx.task = wt
+				return body(ctx)
 			},
 		}
 		das[i] = da
-		t.e.parts[pidx].Enqueue(t.task, da)
+		e.parts[pidx].Enqueue(t.task, da)
 	}
 	t.task.Flush()
 	ok := rvp.Await(t.term.P)
+	if ws != nil {
+		for _, w := range ws {
+			t.tx.MergeWrites(w)
+		}
+	}
 	if !ok {
 		for _, da := range das {
 			if da.Refused {
@@ -615,10 +851,15 @@ func (t *doraTx) Phase(actions ...Action) bool {
 
 // doraCtx is the partition-side AccessCtx. No hierarchical locks, no page
 // latches: isolation came from routing plus the entity lock already held.
+// On an engine-sharded run soc selects the worker's socket-local tree set,
+// pool and scratch pools, and w (non-nil) buffers log writes per action so
+// the shared transaction is never touched from a partition shard.
 type doraCtx struct {
 	e    *DORAEngine
 	task *platform.Task
 	tx   *txn.Txn
+	soc  int
+	w    *txn.Writes
 }
 
 // Read implements AccessCtx.
@@ -640,10 +881,11 @@ func (c *doraCtx) Read(table uint16, key []byte) ([]byte, bool) {
 		e.traces.Put(tr)
 		return val, ok
 	default:
-		tr := e.traces.Get()
-		val, ok := e.trees[table].Get(key, tr)
-		e.chargeVisits(c.task, tr, false)
-		e.traces.Put(tr)
+		tp := e.tracesFor(c.soc)
+		tr := tp.Get()
+		val, ok := e.treeFor(c.soc, table).Get(key, tr)
+		e.chargeVisits(c.task, e.poolFor(c.soc), tr, false)
+		tp.Put(tr)
 		return val, ok
 	}
 }
@@ -660,15 +902,21 @@ func (c *doraCtx) Update(table uint16, key, val []byte) bool {
 		e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
 		return true
 	}
-	tr := e.traces.Get()
-	prev, existed := e.trees[table].Put(key, val, tr)
-	e.chargeVisits(c.task, tr, true)
-	e.traces.Put(tr)
+	tp := e.tracesFor(c.soc)
+	tr := tp.Get()
+	tree := e.treeFor(c.soc, table)
+	prev, existed := tree.Put(key, val, tr)
+	e.chargeVisits(c.task, e.poolFor(c.soc), tr, true)
+	tp.Put(tr)
 	if !existed {
-		e.trees[table].Delete(key, nil)
+		tree.Delete(key, nil)
 		return false
 	}
-	e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
+	if c.w != nil {
+		e.tm.LogUpdateW(c.task, c.tx.ID, c.w, table, key, prev, val)
+	} else {
+		e.tm.LogUpdate(c.task, c.tx, table, key, prev, val)
+	}
 	return true
 }
 
@@ -684,15 +932,21 @@ func (c *doraCtx) Insert(table uint16, key, val []byte) bool {
 		e.tm.LogInsert(c.task, c.tx, table, key, val)
 		return true
 	}
-	tr := e.traces.Get()
-	prev, existed := e.trees[table].Put(key, val, tr)
-	e.chargeVisits(c.task, tr, true)
-	e.traces.Put(tr)
+	tp := e.tracesFor(c.soc)
+	tr := tp.Get()
+	tree := e.treeFor(c.soc, table)
+	prev, existed := tree.Put(key, val, tr)
+	e.chargeVisits(c.task, e.poolFor(c.soc), tr, true)
+	tp.Put(tr)
 	if existed {
-		e.trees[table].Put(key, prev, nil)
+		tree.Put(key, prev, nil)
 		return false
 	}
-	e.tm.LogInsert(c.task, c.tx, table, key, val)
+	if c.w != nil {
+		e.tm.LogInsertW(c.task, c.tx.ID, c.w, table, key, val)
+	} else {
+		e.tm.LogInsert(c.task, c.tx, table, key, val)
+	}
 	return true
 }
 
@@ -707,14 +961,19 @@ func (c *doraCtx) Delete(table uint16, key []byte) bool {
 		e.tm.LogDelete(c.task, c.tx, table, key, val)
 		return true
 	}
-	tr := e.traces.Get()
-	val, ok := e.trees[table].Delete(key, tr)
-	e.chargeVisits(c.task, tr, true)
-	e.traces.Put(tr)
+	tp := e.tracesFor(c.soc)
+	tr := tp.Get()
+	val, ok := e.treeFor(c.soc, table).Delete(key, tr)
+	e.chargeVisits(c.task, e.poolFor(c.soc), tr, true)
+	tp.Put(tr)
 	if !ok {
 		return false
 	}
-	e.tm.LogDelete(c.task, c.tx, table, key, val)
+	if c.w != nil {
+		e.tm.LogDeleteW(c.task, c.tx.ID, c.w, table, key, val)
+	} else {
+		e.tm.LogDelete(c.task, c.tx, table, key, val)
+	}
 	return true
 }
 
@@ -725,15 +984,17 @@ func (c *doraCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool)
 		e.ov.ScanRange(c.task, table, from, to, fn)
 		return
 	}
-	tr := e.traces.Get()
-	rows := e.kvs.Get()
-	defer func() { e.kvs.Put(rows) }()
-	e.trees[table].Scan(from, to, tr, func(k, v []byte) bool {
+	tp := e.tracesFor(c.soc)
+	kp := e.kvsFor(c.soc)
+	tr := tp.Get()
+	rows := kp.Get()
+	defer func() { kp.Put(rows) }()
+	e.treeFor(c.soc, table).Scan(from, to, tr, func(k, v []byte) bool {
 		rows = append(rows, kvPair{k, v})
 		return true
 	})
-	e.chargeVisits(c.task, tr, false)
-	e.traces.Put(tr)
+	e.chargeVisits(c.task, e.poolFor(c.soc), tr, false)
+	tp.Put(tr)
 	for _, r := range rows {
 		c.task.Exec(stats.CompBtree, 20)
 		if !fn(r.k, r.v) {

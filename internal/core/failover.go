@@ -42,7 +42,7 @@ const DefaultDetect = 500 * sim.Microsecond
 // replicated out-of-band at checkpoint time — they are static page images,
 // not part of the shipped stream).
 func Failover(cfg *platform.Config, defs []TableDef, meta CheckpointMeta, dm *storage.DiskManager,
-	logs [][]byte, detect sim.Duration, parallel bool) (map[uint16]*btree.Tree, FailoverStats, error) {
+	logs [][]byte, detect sim.Duration, parallel bool) ([]map[uint16]*btree.Tree, FailoverStats, error) {
 	bootCfg := *cfg
 	bootCfg.Replicas = 0
 	bootCfg.ReplMode = stats.ReplNone
@@ -51,12 +51,12 @@ func Failover(cfg *platform.Config, defs []TableDef, meta CheckpointMeta, dm *st
 	pl := platform.New(env, &bootCfg)
 	dm2 := dm.Rebind(pl.Disk)
 	fst := FailoverStats{Mode: cfg.ReplMode, Detect: detect}
-	var trees map[uint16]*btree.Tree
+	var sets []map[uint16]*btree.Tree
 	var rerr error
 	env.Spawn("failover", func(p *sim.Proc) {
 		p.Wait(detect)
 		t, rst, err := RecoverMeasured(p, pl, defs, meta, dm2, logs, parallel)
-		trees, fst.Recovery, rerr = t, rst, err
+		sets, fst.Recovery, rerr = t, rst, err
 	})
 	if err := env.Run(); err != nil {
 		return nil, fst, err
@@ -65,6 +65,6 @@ func Failover(cfg *platform.Config, defs []TableDef, meta CheckpointMeta, dm *st
 		return nil, fst, rerr
 	}
 	fst.TimeToServing = detect + fst.Recovery.SimTime
-	fst.Digest = ContentDigest(trees)
-	return trees, fst, nil
+	fst.Digest = ContentDigestSets(sets)
+	return sets, fst, nil
 }

@@ -183,11 +183,11 @@ func TestFailoverServesWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	logs, _, _ := e.Replicator().CrashImage()
-	trees, fst, err := Failover(cfg, kvTables(), meta, e.DiskManager(), logs, DefaultDetect, true)
+	sets, fst, err := Failover(cfg, kvTables(), meta, e.DiskManager(), logs, DefaultDetect, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := trees[1].Get(k, nil); !ok || !bytes.Equal(v, []byte("after")) {
+	if v, ok := sets[0][1].Get(k, nil); !ok || !bytes.Equal(v, []byte("after")) {
 		t.Errorf("promoted replica serves %q, want the sync-acknowledged update", v)
 	}
 	if fst.Mode != stats.ReplSync {

@@ -89,6 +89,11 @@ type Result struct {
 	// state, identical on the serial and parallel kernels, and deliberately
 	// not part of the sweep digest.
 	Events uint64
+
+	// EventsByShard is the per-kernel-shard event count of an engine-sharded
+	// run — the witness that engine work actually executed off shard 0. Nil
+	// on classic runs, and deliberately not part of the sweep digest.
+	EventsByShard []uint64
 }
 
 // logStatser is implemented by engines that report per-shard log counters.
@@ -150,6 +155,19 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 			env.EnableParallel(shards, la)
 		}
 	}
+	// Engine-on-shard runs distribute engine and terminal processes over
+	// the kernel shards. Snapshots that read engine-wide state move from
+	// in-simulation At callbacks to host code at RunUntil barriers (where
+	// every shard has quiesced at the same horizon), and per-terminal
+	// recording replaces the shared histogram/count map; both are merged
+	// deterministically, so serial and concurrent execution agree.
+	shardedRun := false
+	if es, ok := eng.(interface{ EngineSharded() bool }); ok {
+		shardedRun = es.EngineSharded()
+	}
+	if shardedRun && cfg.Analytics != nil {
+		return nil, fmt.Errorf("core: analytics is not supported on an engine-sharded run")
+	}
 	root := sim.NewRand(cfg.Seed)
 	wl.Populate(eng.Load, root.Split())
 	if warmer, ok := eng.(interface{ Warm() }); ok {
@@ -184,7 +202,7 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	var startLog, endLog []stats.LogShardStats
 	var startRepl, endRepl []stats.ReplicationStats
 	var startScan, endScan stats.ScanStats
-	env.At(warmT, func() {
+	snapStart := func() {
 		startBD = *eng.Breakdown()
 		startSnap = pl.Snapshot()
 		startCommits = eng.Counters().Get("commits")
@@ -198,8 +216,8 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		if arun != nil {
 			startScan = arun.Snapshot()
 		}
-	})
-	env.At(endT, func() {
+	}
+	snapEnd := func() {
 		endBD = *eng.Breakdown()
 		endSnap = pl.Snapshot()
 		endCommits = eng.Counters().Get("commits")
@@ -213,33 +231,64 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		if arun != nil {
 			endScan = arun.Snapshot()
 		}
-	})
+	}
+	if !shardedRun {
+		env.At(warmT, snapStart)
+		env.At(endT, snapEnd)
+	}
 
 	stop := false
+	var termCounts []map[string]int64
+	var termLats []*stats.Histogram
+	if shardedRun {
+		termCounts = make([]map[string]int64, cfg.Terminals)
+		termLats = make([]*stats.Histogram, cfg.Terminals)
+	}
 	for i := 0; i < cfg.Terminals; i++ {
 		i := i
 		tr := root.Split()
-		env.Spawn(fmt.Sprintf("terminal%d", i), func(p *sim.Proc) {
-			term := &Terminal{ID: i, P: p, Core: pl.Cores[i%len(pl.Cores)], R: tr}
+		core := pl.Cores[i%len(pl.Cores)]
+		counts, lat := res.TxnCounts, res.Latency
+		if shardedRun {
+			termCounts[i] = make(map[string]int64, 16)
+			termLats[i] = &stats.Histogram{}
+			counts, lat = termCounts[i], termLats[i]
+		}
+		body := func(p *sim.Proc) {
+			term := &Terminal{ID: i, P: p, Core: core, R: tr}
 			for !stop {
 				name, logic := wl.NextTxn(term.R)
 				start := p.Now()
 				committed := eng.Submit(term, logic)
 				if start >= warmT && p.Now() <= endT {
-					res.TxnCounts[name]++
+					counts[name]++
 					if committed {
-						res.Latency.Record(p.Now().Sub(start))
+						lat.Record(p.Now().Sub(start))
 					}
 				}
 			}
-		})
+		}
+		if shardedRun {
+			env.SpawnOn(pl.ShardOfCore(core), fmt.Sprintf("terminal%d", i), body)
+		} else {
+			env.Spawn(fmt.Sprintf("terminal%d", i), body)
+		}
 	}
 	if arun != nil {
 		arun.Start(&stop)
 	}
 
+	if shardedRun {
+		if err := env.RunUntil(warmT); err != nil {
+			return nil, err
+		}
+		snapStart()
+	}
 	if err := env.RunUntil(endT); err != nil {
 		return nil, err
+	}
+	if shardedRun {
+		snapEnd()
 	}
 	// Drain: let in-flight transactions finish within a bounded grace
 	// period (background daemons tick forever, so an unbounded Run would
@@ -282,6 +331,17 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	if arun != nil {
 		sc := endScan.Sub(startScan)
 		res.Scan = &sc
+	}
+	if shardedRun {
+		// Merge per-terminal recordings in terminal-ID order — a pure
+		// function of the recorded values, independent of host scheduling.
+		for i := 0; i < cfg.Terminals; i++ {
+			for name, n := range termCounts[i] {
+				res.TxnCounts[name] += n
+			}
+			res.Latency.Merge(termLats[i])
+		}
+		res.EventsByShard = env.ShardExecuted()
 	}
 	res.Events = env.Executed()
 	return res, nil

@@ -139,7 +139,7 @@ func TestShardedCrashRecovery(t *testing.T) {
 				}
 				var meta CheckpointMeta
 				env.Spawn("driver", func(p *sim.Proc) {
-					meta = CheckpointAll(p, e.Tables(), e.DiskManager(), e.LogSet())
+					meta = CheckpointAllSets(p, e.TableSets(), e.DiskManager(), e.LogSet())
 					term := &Terminal{ID: 0, P: p, Core: e.Platform().Cores[0], R: sim.NewRand(1)}
 					r := sim.NewRand(uint64(7 + sockets))
 					for i := 0; i < 150; i++ {
@@ -187,21 +187,23 @@ func TestShardedCrashRecovery(t *testing.T) {
 				if err := env.Run(); err != nil {
 					t.Fatal(err)
 				}
-				liveDigest := ContentDigest(e.Tables())
+				liveDigest := ContentDigestSets(e.TableSets())
 				logs := e.LogSet().Datas()
 
 				// Serial replay (unmeasured path).
 				env.Spawn("recover-serial", func(p *sim.Proc) {
-					trees, err := Recover(p, kvTables(), meta, e.DiskManager(), logs...)
+					sets, err := RecoverSets(p, kvTables(), meta, e.DiskManager(), logs...)
 					if err != nil {
 						t.Error(err)
 						return
 					}
-					if got := ContentDigest(trees); got != liveDigest {
+					if got := ContentDigestSets(sets); got != liveDigest {
 						t.Errorf("serial recovery diverged from live state:\n got  %s\n want %s", got, liveDigest)
 					}
-					if err := trees[1].Validate(); err != nil {
-						t.Error(err)
+					for _, set := range sets {
+						if err := set[1].Validate(); err != nil {
+							t.Error(err)
+						}
 					}
 				})
 				if err := env.Run(); err != nil {
@@ -216,13 +218,13 @@ func TestShardedCrashRecovery(t *testing.T) {
 					dm2 := e.DiskManager().Rebind(pl2.Disk)
 					var st RecoveryStats
 					env2.Spawn("recover-measured", func(p *sim.Proc) {
-						trees, stats, err := RecoverMeasured(p, pl2, kvTables(), meta, dm2, logs, par)
+						sets, stats, err := RecoverMeasured(p, pl2, kvTables(), meta, dm2, logs, par)
 						st = stats
 						if err != nil {
 							t.Error(err)
 							return
 						}
-						if got := ContentDigest(trees); got != liveDigest {
+						if got := ContentDigestSets(sets); got != liveDigest {
 							t.Errorf("measured replay (parallel=%v) diverged:\n got  %s\n want %s", par, got, liveDigest)
 						}
 					})
@@ -266,7 +268,7 @@ func TestCrossShardTornVector(t *testing.T) {
 	e.Load(1, k1, []byte("before-1"))
 	var meta CheckpointMeta
 	env.Spawn("driver", func(p *sim.Proc) {
-		meta = CheckpointAll(p, e.Tables(), e.DiskManager(), e.LogSet())
+		meta = CheckpointAllSets(p, e.TableSets(), e.DiskManager(), e.LogSet())
 		term := &Terminal{ID: 0, P: p, Core: e.Platform().Cores[0], R: sim.NewRand(1)}
 		ok := e.Submit(term, func(tx Tx) bool {
 			return tx.Phase(
@@ -287,16 +289,25 @@ func TestCrossShardTornVector(t *testing.T) {
 	torn := make([][]byte, len(logs))
 	copy(torn, logs)
 	torn[1] = torn[1][:meta.StartLSNs[1]]
+	// get finds a key across the recovered socket sets (keys are disjoint).
+	get := func(sets []map[uint16]*btree.Tree, k []byte) []byte {
+		for _, set := range sets {
+			if v, ok := set[1].Get(k, nil); ok {
+				return v
+			}
+		}
+		return nil
+	}
 	env.Spawn("recovery", func(p *sim.Proc) {
-		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), torn...)
+		sets, err := RecoverSets(p, kvTables(), meta, e.DiskManager(), torn...)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		if v, _ := trees[1].Get(k0, nil); !bytes.Equal(v, []byte("before-0")) {
+		if v := get(sets, k0); !bytes.Equal(v, []byte("before-0")) {
 			t.Errorf("anchor-shard record of a vector-incomplete commit replayed: k0=%q", v)
 		}
-		if v, _ := trees[1].Get(k1, nil); !bytes.Equal(v, []byte("before-1")) {
+		if v := get(sets, k1); !bytes.Equal(v, []byte("before-1")) {
 			t.Errorf("torn-shard record replayed: k1=%q", v)
 		}
 	})
@@ -305,15 +316,15 @@ func TestCrossShardTornVector(t *testing.T) {
 	}
 	// Sanity: with the full logs, the same recovery replays both sides.
 	env.Spawn("recovery-full", func(p *sim.Proc) {
-		trees, err := Recover(p, kvTables(), meta, e.DiskManager(), logs...)
+		sets, err := RecoverSets(p, kvTables(), meta, e.DiskManager(), logs...)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		if v, _ := trees[1].Get(k0, nil); !bytes.Equal(v, []byte("after-0")) {
+		if v := get(sets, k0); !bytes.Equal(v, []byte("after-0")) {
 			t.Errorf("intact recovery lost k0: %q", v)
 		}
-		if v, _ := trees[1].Get(k1, nil); !bytes.Equal(v, []byte("after-1")) {
+		if v := get(sets, k1); !bytes.Equal(v, []byte("after-1")) {
 			t.Errorf("intact recovery lost k1: %q", v)
 		}
 	})

@@ -93,6 +93,17 @@ func NewRVP(env *sim.Env, n int) *RVP {
 	return &RVP{remaining: n, ok: true, sig: sim.NewSignal(env)}
 }
 
+// NewRVPOn creates a rendezvous homed on the given kernel shard — the
+// coordinator's. Local partitions arrive directly; remote partitions'
+// votes are carried over via CrossAt and arrive as scheduler callbacks on
+// the home shard, so every Arrive (and the final Fire) executes there.
+func NewRVPOn(env *sim.Env, n, shard int) *RVP {
+	if n < 1 {
+		panic("dora: RVP needs at least one arrival")
+	}
+	return &RVP{remaining: n, ok: true, sig: sim.NewSignal(env).OnShard(shard)}
+}
+
 // Arrive registers one arrival with its vote; the last arrival fires the
 // signal.
 func (r *RVP) Arrive(vote bool) {
@@ -190,6 +201,13 @@ type Partition struct {
 	qAddr  uint64 // queue slots, for coherence-miss charging
 	socket int    // the socket Core lives on, cached for the message path
 
+	// confined marks the partition as homed on its socket's kernel shard:
+	// the worker, input queue and queue slots live there, remote enqueues
+	// arrive as posted interconnect messages via CrossAt, and waits are
+	// restricted to the home socket (see dispatch). Set by Confine.
+	confined bool
+	shard    int // kernel shard of socket, valid when confined
+
 	inflight   int
 	slotFree   *sim.Signal
 	done       int64
@@ -205,8 +223,12 @@ type Partition struct {
 }
 
 type entityLock struct {
-	owner    uint64
-	deferred []*Action
+	owner uint64
+	// ownerHome is the owner's coordinator socket (Action.ReplySocket at
+	// acquire), recorded so a confined partition can apply the home-socket
+	// wait rule without consulting a foreign shard.
+	ownerHome int
+	deferred  []*Action
 }
 
 // NewPartition creates a partition owned by core, sharing reg for deadlock
@@ -234,6 +256,18 @@ func NewPartition(pl *platform.Platform, reg *Registry, id int, core *platform.C
 // Socket returns the socket this partition's owning core lives on.
 func (pt *Partition) Socket() int { return pt.socket }
 
+// Confine homes the partition on its socket's kernel shard: the input
+// queue moves onto the shard, the queue slots move into the socket's
+// private arena, and Start will spawn the worker there. Call at setup
+// time, before Start and before any Enqueue.
+func (pt *Partition) Confine() *Partition {
+	pt.confined = true
+	pt.shard = pt.pl.ShardOf(pt.socket)
+	pt.in.OnShard(pt.shard)
+	pt.qAddr = pt.pl.AllocHostOn(pt.socket, 64*1024)
+	return pt
+}
+
 // actionMsgBytes is the modeled size of one cross-socket action message —
 // a cache-line-sized descriptor (routing key, txn id, body pointer) — and
 // of the vote carried back to the coordinator's RVP.
@@ -244,6 +278,29 @@ const actionMsgBytes = 64
 // one interconnect message to carry the action descriptor to the
 // partition's socket; same-socket sends pay nothing new.
 func (pt *Partition) Enqueue(t *platform.Task, a *Action) {
+	if pt.confined {
+		if from := t.Core().SocketID(); from != pt.socket {
+			// Posted cross-shard send: the sender pays the routing cost and
+			// the interconnect transfer on its own shard, then the descriptor
+			// travels as a scheduler message and lands in the queue on the
+			// partition's shard after the hop latency. The sender never
+			// touches the remote queue slots.
+			t.Exec(stats.CompDora, pt.Costs.EnqueueInstr)
+			t.Flush()
+			arrival := pt.pl.IC.Send(t.P, from, pt.socket, actionMsgBytes)
+			t.P.CrossAt(pt.shard, arrival, func() {
+				if pt.in.Closed() {
+					return // machine shut down while the descriptor was in flight
+				}
+				if a.Priority {
+					pt.in.PutFront(a)
+				} else {
+					pt.in.TryPut(a)
+				}
+			})
+			return
+		}
+	}
 	if pt.HWQueue != nil {
 		// Doorbell write + hardware enqueue: minimal CPU, unit does the rest.
 		t.Exec(stats.CompDora, pt.Costs.EnqueueInstr/4)
@@ -281,7 +338,7 @@ func (pt *Partition) Defers() int64 { return pt.defers }
 // to child processes that share the partition's core, so an action blocked
 // on asynchronous hardware leaves the core free for its siblings.
 func (pt *Partition) Start() {
-	pt.pl.Env.Spawn(fmt.Sprintf("part%d.worker", pt.ID), func(p *sim.Proc) {
+	body := func(p *sim.Proc) {
 		for {
 			a, ok := pt.in.Get(p)
 			if !ok {
@@ -310,7 +367,13 @@ func (pt *Partition) Start() {
 			pt.inflight++
 			pt.startAction(a)
 		}
-	})
+	}
+	name := fmt.Sprintf("part%d.worker", pt.ID)
+	if pt.confined {
+		pt.pl.Env.SpawnOn(pt.shard, name, body)
+		return
+	}
+	pt.pl.Env.Spawn(name, body)
 }
 
 // actionChild is one pooled windowed-action process: a single goroutine
@@ -369,9 +432,22 @@ func (pt *Partition) dispatch(task *platform.Task, a *Action) {
 		task.Exec(stats.CompDora, pt.Costs.LocalLockInstr)
 		l := pt.locks[a.LockKey]
 		if l == nil {
-			l = &entityLock{owner: a.TxnID}
+			l = &entityLock{owner: a.TxnID, ownerHome: a.ReplySocket}
 			pt.locks[a.LockKey] = l
 		} else if l.owner != a.TxnID {
+			// Home-socket wait rule on a confined partition: a transaction
+			// may defer only in partitions of its own socket, and only
+			// behind a holder homed there too. This keeps every waits-for
+			// edge inside one per-socket registry — each shard sees every
+			// cycle it could be part of without reading foreign state — at
+			// the price of refusing (abort-voting) the rarer cross-socket
+			// conflicts, which the coordinator retries like any deadlock.
+			if pt.confined && (a.ReplySocket != pt.socket || l.ownerHome != pt.socket) {
+				pt.reg.deadlocks++
+				a.Refused = true
+				pt.finish(task, a, false)
+				return
+			}
 			// Conflict: defer unless that would close a cycle.
 			if pt.reg.wouldCycle(a.TxnID, l.owner) {
 				pt.reg.deadlocks++
@@ -399,6 +475,17 @@ func (pt *Partition) finish(task *platform.Task, a *Action, vote bool) {
 	pt.done++
 	if a.RVP != nil {
 		// Carry the vote back to a coordinator on another socket.
+		if pt.confined && a.ReplySocket != pt.socket {
+			// Posted send: the vote crosses the interconnect and arrives at
+			// the coordinator's RVP — homed on its shard — after the hop
+			// latency, without this worker blocking through the transfer.
+			rvp := a.RVP
+			arrival := pt.pl.IC.Send(task.P, pt.socket, a.ReplySocket, actionMsgBytes)
+			task.P.CrossAt(pt.pl.ShardOf(a.ReplySocket), arrival, func() {
+				rvp.Arrive(vote)
+			})
+			return
+		}
 		if ic := pt.pl.IC; ic != nil && a.ReplySocket != pt.socket {
 			ic.Transfer(task.P, pt.socket, a.ReplySocket, actionMsgBytes)
 		}
@@ -431,6 +518,7 @@ func (pt *Partition) ReleaseLocks(task *platform.Task, txnID uint64) {
 		// others re-defer when dispatched.
 		next := l.deferred[0]
 		l.owner = next.TxnID
+		l.ownerHome = next.ReplySocket
 		rest := l.deferred
 		l.deferred = nil
 		// Re-dispatch at the queue head: deferred actions were admitted

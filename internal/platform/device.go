@@ -57,6 +57,14 @@ func (d *Device) TransferAsync(env *sim.Env, bytes int, done *sim.Signal) {
 	})
 }
 
+// OnShard rebinds the device's channel resource to the given kernel shard,
+// confining it there: on a concurrent environment only processes on that
+// shard may Transfer through it. Call at setup time, before running.
+func (d *Device) OnShard(shard int) *Device {
+	d.chans.OnShard(shard)
+	return d
+}
+
 // Name returns the device name.
 func (d *Device) Name() string { return d.name }
 

@@ -33,12 +33,18 @@ func (pl *Platform) Snapshot() Snapshot {
 		s.UnitBusy += u.slots.BusyTime()
 		s.UnitSlotCount += u.nSlots
 	}
-	s.DRAMBytes = pl.HostDRAM.bytes + pl.SGDRAM.bytes + pl.dramLineBytes
+	s.DRAMBytes = pl.HostDRAM.bytes + pl.SGDRAM.bytes + pl.dramLineTotal()
 	s.PCIeBytes = pl.PCIe.bytes
 	if pl.IC != nil {
-		s.ICHopBytes = pl.IC.hopBytes
+		s.ICHopBytes = pl.IC.HopBytes()
 	}
 	s.DiskBusy = pl.Disk.BusyTime()
+	// Confined platforms: index 0 aliases Disk and is already counted.
+	if pl.dataDisks != nil {
+		for _, d := range pl.dataDisks[1:] {
+			s.DiskBusy += d.BusyTime()
+		}
+	}
 	s.SSDBusy = pl.SSD.BusyTime()
 	// Sharded-log devices: index 0 aliases SSD/PCIe and is already counted.
 	for _, d := range pl.logSSDs[1:] {

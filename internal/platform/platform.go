@@ -49,24 +49,38 @@ type Platform struct {
 
 	units []*HWUnit
 
-	instructions  int64
-	dramLineBytes int64 // cached-path DRAM traffic (LLC miss fills)
+	// Per-socket data disks (Confine only): socket 0 keeps the Figure 2
+	// SAS array, every other socket gets its own so buffer-pool traffic
+	// stays shard-local. nil on an unconfined platform.
+	dataDisks []*Device
+	confined  bool
 
-	hostBrk uint64
-	fpgaBrk uint64
+	hostBrk  uint64
+	sockBrks []uint64 // per-socket host arenas (AllocHostOn)
+	fpgaBrk  uint64
 }
 
-// Socket is one CPU package: a block of cores sharing one LLC.
+// Socket is one CPU package: a block of cores sharing one LLC. Instruction
+// and DRAM-fill counters live here, not on the platform, so cores on
+// different kernel shards never contend on one counter; platform-wide reads
+// sum the sockets.
 type Socket struct {
 	ID    int
 	Cores []*Core
 	l3    *cacheLevel
+
+	instructions  int64
+	dramLineBytes int64 // cached-path DRAM traffic (LLC miss fills)
 }
 
-// Address-space bases; the top bit distinguishes FPGA-side memory.
+// Address-space bases; the top bit distinguishes FPGA-side memory. Each
+// socket additionally owns a private host arena of hostArena bytes starting
+// at hostBase + (socket+1)*hostArena, so runtime allocations from confined
+// engine code (B-tree page addresses on splits) never touch a shared break.
 const (
-	hostBase = uint64(0x0000_1000_0000_0000)
-	fpgaBase = uint64(0x8000_0000_0000_0000)
+	hostBase  = uint64(0x0000_1000_0000_0000)
+	hostArena = uint64(1) << 42
+	fpgaBase  = uint64(0x8000_0000_0000_0000)
 )
 
 // New builds a platform on env from cfg. cfg must not be modified afterward.
@@ -197,6 +211,28 @@ func newHoldingDevice(env *sim.Env, name string, gbps float64, latency sim.Durat
 func (pl *Platform) AllocHost(size int) uint64 {
 	a := pl.hostBrk
 	pl.hostBrk += uint64(size+63) &^ 63
+	if pl.hostBrk >= hostBase+hostArena {
+		panic("platform: shared host break overflowed into the socket arenas")
+	}
+	return a
+}
+
+// AllocHostOn reserves size bytes from the given socket's private host
+// arena. Confined engine code must allocate here, never through the shared
+// break: arena allocation is a plain per-socket bump touched only by that
+// socket's shard, so concurrent shards never race on an allocator.
+func (pl *Platform) AllocHostOn(socket, size int) uint64 {
+	if pl.sockBrks == nil {
+		pl.sockBrks = make([]uint64, pl.NumSockets())
+		for s := range pl.sockBrks {
+			pl.sockBrks[s] = hostBase + uint64(s+1)*hostArena
+		}
+	}
+	a := pl.sockBrks[socket]
+	pl.sockBrks[socket] += uint64(size+63) &^ 63
+	if pl.sockBrks[socket] >= hostBase+uint64(socket+2)*hostArena {
+		panic("platform: socket host arena exhausted")
+	}
 	return a
 }
 
@@ -211,7 +247,81 @@ func (pl *Platform) AllocFPGA(size int) uint64 {
 func IsFPGAAddr(addr uint64) bool { return addr >= fpgaBase }
 
 // Instructions returns total instructions retired across all cores.
-func (pl *Platform) Instructions() int64 { return pl.instructions }
+func (pl *Platform) Instructions() int64 {
+	var n int64
+	for _, sock := range pl.Sockets {
+		n += sock.instructions
+	}
+	return n
+}
+
+// dramLineTotal sums cached-path DRAM fill traffic across sockets.
+func (pl *Platform) dramLineTotal() int64 {
+	var n int64
+	for _, sock := range pl.Sockets {
+		n += sock.dramLineBytes
+	}
+	return n
+}
+
+// Confine homes every per-socket platform structure on its socket's kernel
+// shard: it shapes the environment (sim.Env.Shape — windows still execute
+// inline until the run enables concurrency), rebinds each core's resource
+// and each socket's log device onto its shard, gives every socket its own
+// data disk (socket 0 keeps the Figure 2 SAS array) and puts the
+// interconnect ports on their owning shards. Engines that distribute
+// themselves over the kernel call this once at construction, before
+// spawning any confined process. Single-socket machines are a no-op.
+// Confine is idempotent.
+func (pl *Platform) Confine() {
+	if pl.confined {
+		return
+	}
+	shards, la := pl.KernelShards()
+	if shards <= 1 {
+		return
+	}
+	pl.Env.Shape(shards, la)
+	pl.confined = true
+	if pl.sockBrks == nil {
+		pl.AllocHostOn(0, 0)
+	}
+	cfg := pl.Cfg
+	pl.dataDisks = []*Device{pl.Disk}
+	for s := 1; s < pl.NumSockets(); s++ {
+		pl.dataDisks = append(pl.dataDisks,
+			newHoldingDevice(pl.Env, fmt.Sprintf("sas-disk%d", s), cfg.DiskBWGBps, cfg.DiskLat, cfg.DiskChans))
+	}
+	for s, d := range pl.dataDisks {
+		d.OnShard(pl.ShardOf(s))
+	}
+	for s := range pl.logSSDs {
+		pl.logSSDs[s].OnShard(pl.ShardOf(s))
+	}
+	for _, sock := range pl.Sockets {
+		sh := pl.ShardOf(sock.ID)
+		for _, c := range sock.Cores {
+			c.res.OnShard(sh)
+		}
+	}
+	if pl.IC != nil {
+		pl.IC.confine(pl)
+	}
+}
+
+// Confined reports whether Confine has homed the platform's per-socket
+// structures on their kernel shards.
+func (pl *Platform) Confined() bool { return pl.confined }
+
+// DataDisk returns the data disk buffer-pool traffic for the given socket
+// goes to: the per-socket disk on a confined platform, the shared Figure 2
+// SAS array otherwise.
+func (pl *Platform) DataDisk(socket int) *Device {
+	if pl.dataDisks == nil {
+		return pl.Disk
+	}
+	return pl.dataDisks[socket]
+}
 
 // CacheStats aggregates hit/miss counts across the hierarchy (LLC counts
 // sum over all sockets' LLCs).
@@ -272,7 +382,7 @@ func (c *Core) access(addr uint64, size int) sim.Duration {
 			d += cfg.L3Lat
 		default:
 			d += cfg.DRAMMissLat
-			c.plat.dramLineBytes += int64(cfg.LineSize)
+			c.sock.dramLineBytes += int64(cfg.LineSize)
 		}
 	}
 	return d
@@ -308,7 +418,7 @@ func (t *Task) Core() *Core { return t.core }
 // Exec charges n instructions of CPU work to component comp.
 func (t *Task) Exec(comp stats.Component, n int) {
 	d := t.core.plat.Cfg.InstrTime(n)
-	t.core.plat.instructions += int64(n)
+	t.core.sock.instructions += int64(n)
 	t.charge(comp, d)
 }
 

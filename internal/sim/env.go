@@ -26,8 +26,10 @@ import (
 type Env struct {
 	shs []*shard
 
-	parallel  bool     // EnableParallel ran: RunUntil uses the window protocol
-	lookahead Duration // minimum cross-shard scheduling distance (parallel only)
+	parallel   bool     // Shape ran: RunUntil uses the window protocol
+	concurrent bool     // windows run on per-shard host goroutines, not inline
+	workers    bool     // window workers have been spawned (first SetConcurrent(true))
+	lookahead  Duration // minimum cross-shard scheduling distance (parallel only)
 
 	spawnMu sync.Mutex // guards procs and live (proc exits race across shards)
 	procs   []*Proc

@@ -53,34 +53,77 @@ type crossEvent struct {
 	fn     func()
 }
 
-// EnableParallel reshapes the environment into shards serial kernels that
-// execute concurrently under the conservative window protocol. It must be
-// called before the first RunUntil, with the driver's goroutine. lookahead
-// is the minimum cross-shard scheduling distance (the modeled interconnect
-// hop latency); it must be positive. shards <= 1 leaves the environment
-// serial. Calling EnableParallel twice, or after running, panics.
-func (e *Env) EnableParallel(shards int, lookahead Duration) {
+// Shape reshapes the environment into shards serial kernels driven by the
+// conservative window protocol, without starting any host concurrency: until
+// SetConcurrent(true), RunUntil executes the very same windows inline, one
+// shard at a time, in shard order. Shards interact only through inboxes
+// drained at barriers, so the event order on every shard — and hence every
+// simulated result — is byte-identical between the inline and concurrent
+// modes. Shaping lets engines confine their processes and primitives to
+// shards at construction time and decide later (per run flag) whether the
+// windows also execute on parallel host goroutines.
+//
+// Shape must be called before the first RunUntil. Calling it again with the
+// same shape is a no-op; a different shard count or lookahead panics.
+// shards <= 1 leaves the environment serial.
+func (e *Env) Shape(shards int, lookahead Duration) {
 	if shards <= 1 {
 		return
 	}
 	if e.parallel {
-		panic("sim: EnableParallel called twice")
+		if shards != len(e.shs) || lookahead != e.lookahead {
+			panic(fmt.Sprintf("sim: Shape(%d, %v) conflicts with existing shape (%d, %v)",
+				shards, lookahead, len(e.shs), e.lookahead))
+		}
+		return
 	}
 	if e.closed || e.dead {
-		panic("sim: EnableParallel on a closed environment")
+		panic("sim: Shape on a closed environment")
 	}
 	if lookahead < 1 {
-		panic("sim: EnableParallel needs a positive lookahead")
+		panic("sim: Shape needs a positive lookahead")
 	}
 	e.parallel = true
 	e.lookahead = lookahead
 	for i := len(e.shs); i < shards; i++ {
 		e.shs = append(e.shs, &shard{env: e, id: i, parked: make(chan struct{})})
 	}
-	for _, s := range e.shs {
-		s.start = make(chan struct{})
-		go s.windowWorker()
+}
+
+// SetConcurrent selects how a shaped environment executes its windows:
+// inline on the driver goroutine (false, the default — the golden serial
+// reference) or one host goroutine per shard (true). The first enable spawns
+// the per-shard window workers. Results are bit-identical either way; this
+// is purely a host-execution knob. On an unshaped environment it is a no-op.
+func (e *Env) SetConcurrent(on bool) {
+	if !e.parallel {
+		return
 	}
+	if on && !e.workers {
+		if e.closed || e.dead {
+			panic("sim: SetConcurrent on a closed environment")
+		}
+		e.workers = true
+		for _, s := range e.shs {
+			s.start = make(chan struct{})
+			go s.windowWorker()
+		}
+	}
+	e.concurrent = on
+}
+
+// EnableParallel shapes the environment into shards serial kernels AND turns
+// on concurrent window execution: Shape(shards, lookahead) followed by
+// SetConcurrent(true). It must be called before the first RunUntil. On an
+// environment already shaped identically (an engine confined itself at
+// construction) it just enables concurrency; a conflicting shape panics.
+// shards <= 1 leaves the environment serial.
+func (e *Env) EnableParallel(shards int, lookahead Duration) {
+	if shards <= 1 {
+		return
+	}
+	e.Shape(shards, lookahead)
+	e.SetConcurrent(true)
 }
 
 // Parallel reports whether EnableParallel has reshaped this environment.
@@ -110,8 +153,12 @@ func (s *shard) windowWorker() {
 	}
 }
 
-// runParallel is RunUntil for a parallel environment: alternate windows and
-// barriers until no shard holds an event at or before the horizon.
+// runParallel is RunUntil for a shaped environment: alternate windows and
+// barriers until no shard holds an event at or before the horizon. When the
+// environment is not concurrent each window runs inline on the driver
+// goroutine in shard order; windows within one barrier round are independent
+// (shards interact only via inboxes drained at the next barrier), so the
+// per-shard event streams are identical in both modes.
 func (e *Env) runParallel(horizon Time) error {
 	const inf = Time(1<<63 - 1)
 	la := Time(e.lookahead)
@@ -156,10 +203,18 @@ func (e *Env) runParallel(horizon Time) error {
 				continue
 			}
 			s.horizon = lim
+			if !e.concurrent {
+				if s.dispatch(nil) == batonHanded {
+					<-s.parked
+				}
+				continue
+			}
 			e.windowWG.Add(1)
 			s.start <- struct{}{}
 		}
-		e.windowWG.Wait()
+		if e.concurrent {
+			e.windowWG.Wait()
+		}
 	}
 	e.drainInboxes()
 	if err := e.firstErr(); err != nil {
@@ -233,4 +288,46 @@ func (p *Proc) CrossAt(target int, t Time, fn func()) {
 	// sender's heap top) lands at top + lookahead or later — strictly past
 	// every other shard's window bound of top + lookahead - 1. A shard can
 	// therefore never merge an arrival into its executed past.
+}
+
+// CrossFrom is CrossAt for code that executes on a shard without a process
+// of its own — scheduler callbacks (signal OnFire hooks, CrossAt deliveries)
+// that need to post back to another shard. src names the shard the caller is
+// currently executing on; the same lookahead rule applies relative to that
+// shard's clock. On a serial environment (or to the caller's own shard) it
+// degenerates to AtOn, exactly like CrossAt.
+func (e *Env) CrossFrom(src, target int, t Time, fn func()) {
+	s := e.shs[src]
+	tg := e.shs[target]
+	if !e.parallel || tg == s {
+		if t < s.now {
+			t = s.now
+		}
+		tg.push(event{at: t, fn: fn})
+		return
+	}
+	if t < s.now.Add(e.lookahead) {
+		panic(fmt.Sprintf("sim: cross-shard post from shard %d at %v for shard %d at %v violates lookahead %v",
+			s.id, s.now, target, t, e.lookahead))
+	}
+	s.crossSeq++
+	tg.inboxMu.Lock()
+	tg.inbox = append(tg.inbox, crossEvent{at: t, src: s.id, srcSeq: s.crossSeq, fn: fn})
+	tg.inboxMu.Unlock()
+}
+
+// ShardNow returns the given shard's clock. Outside a running window it is
+// only meaningful from the driver (between RunUntil calls) or from code
+// executing on that shard.
+func (e *Env) ShardNow(shard int) Time { return e.shs[shard].now }
+
+// ShardExecuted returns a snapshot of per-shard executed-event counts. The
+// off-shard-0 entries are the proof that engine work really runs on foreign
+// shards; the engine-sharding tests assert they are nonzero.
+func (e *Env) ShardExecuted() []uint64 {
+	out := make([]uint64, len(e.shs))
+	for i, s := range e.shs {
+		out[i] = s.executed
+	}
+	return out
 }

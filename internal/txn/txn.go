@@ -65,19 +65,50 @@ type Txn struct {
 // vector sorted by shard id (a pure function of the shards touched).
 func (tx *Txn) note(shard int, lsn wal.LSN) {
 	tx.LastLSN = lsn
-	for i, e := range tx.Shards {
+	tx.Shards = noteVec(tx.Shards, shard, lsn, false)
+}
+
+// noteVec inserts (shard, lsn) into a sorted durability vector. With max
+// set, an existing entry only ever rises — merge order then cannot matter,
+// which is what lets per-action scratch vectors merge in any fixed order.
+func noteVec(vec []wal.ShardLSN, shard int, lsn wal.LSN, max bool) []wal.ShardLSN {
+	for i, e := range vec {
 		if e.Shard == shard {
-			tx.Shards[i].LSN = lsn
-			return
+			if !max || lsn > e.LSN {
+				vec[i].LSN = lsn
+			}
+			return vec
 		}
 		if e.Shard > shard {
-			tx.Shards = append(tx.Shards, wal.ShardLSN{})
-			copy(tx.Shards[i+1:], tx.Shards[i:])
-			tx.Shards[i] = wal.ShardLSN{Shard: shard, LSN: lsn}
-			return
+			vec = append(vec, wal.ShardLSN{})
+			copy(vec[i+1:], vec[i:])
+			vec[i] = wal.ShardLSN{Shard: shard, LSN: lsn}
+			return vec
 		}
 	}
-	tx.Shards = append(tx.Shards, wal.ShardLSN{Shard: shard, LSN: lsn})
+	return append(vec, wal.ShardLSN{Shard: shard, LSN: lsn})
+}
+
+// Writes is a per-action write buffer for engines whose actions execute
+// concurrently on behalf of one transaction (the engine-sharded DORA
+// kernel): each action logs through its own Writes instead of mutating the
+// shared Txn, and the transaction's owner merges the buffers back — in
+// action order, at the phase barrier — with MergeWrites. Per-shard LSNs are
+// merged by maximum, so the merged vector is identical to what serial
+// execution's overwrite-in-order would have produced (per-shard horizons
+// are monotone).
+type Writes struct {
+	Undo   []UndoRec
+	Shards []wal.ShardLSN
+}
+
+// MergeWrites folds one action's write buffer into the transaction: undo
+// records append in buffer order, vector entries merge by max LSN.
+func (tx *Txn) MergeWrites(w *Writes) {
+	tx.Undo = append(tx.Undo, w.Undo...)
+	for _, e := range w.Shards {
+		tx.Shards = noteVec(tx.Shards, e.Shard, e.LSN, true)
+	}
 }
 
 // Config tunes the CPU costs of transaction management (the Figure 3
@@ -104,11 +135,39 @@ type Manager struct {
 	begins  int64
 	commits int64
 	aborts  int64
+
+	// Per-socket mode (ShardPerSocket): id assignment and lifecycle
+	// counters stride by socket so terminals on concurrent kernel shards
+	// never touch a shared counter, and commit/abort records anchor on the
+	// caller's socket so every append stays shard-local.
+	nSock     int
+	nextIDs   []uint64
+	beginsBy  []int64
+	commitsBy []int64
+	abortsBy  []int64
 }
 
 // NewManager creates a transaction manager appending to log.
 func NewManager(env *sim.Env, log *wal.LogSet, cfg Config) *Manager {
 	return &Manager{cfg: cfg, log: log, env: env, nextID: 1}
+}
+
+// ShardPerSocket switches the manager to per-socket operation for an
+// engine-sharded run on an nSockets-socket machine: socket s draws
+// transaction ids from the strided sequence 1+s, 1+s+nSockets, ... (unique
+// across sockets, no shared counter), lifecycle counters split per socket,
+// and commit/abort records anchor on the committing terminal's own socket
+// instead of the lowest touched data shard — the caller's log shard is the
+// one shard a confined terminal may append to. Call once at construction.
+func (m *Manager) ShardPerSocket(nSockets int) {
+	m.nSock = nSockets
+	m.nextIDs = make([]uint64, nSockets)
+	for s := range m.nextIDs {
+		m.nextIDs[s] = uint64(1 + s)
+	}
+	m.beginsBy = make([]int64, nSockets)
+	m.commitsBy = make([]int64, nSockets)
+	m.abortsBy = make([]int64, nSockets)
 }
 
 // LogSet returns the log set the manager appends to.
@@ -118,9 +177,17 @@ func (m *Manager) LogSet() *wal.LogSet { return m.log }
 // Begin records are not part of the durability vector: recovery never needs
 // them, so losing one in a crash is harmless.
 func (m *Manager) Begin(t *platform.Task) *Txn {
-	m.begins++
-	tx := &Txn{ID: m.nextID, State: Active}
-	m.nextID++
+	var tx *Txn
+	if m.nextIDs != nil {
+		s := t.Core().SocketID()
+		m.beginsBy[s]++
+		tx = &Txn{ID: m.nextIDs[s], State: Active}
+		m.nextIDs[s] += uint64(m.nSock)
+	} else {
+		m.begins++
+		tx = &Txn{ID: m.nextID, State: Active}
+		m.nextID++
+	}
 	t.Exec(stats.CompXct, m.cfg.BeginInstr)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecBegin}
 	tx.LastLSN = m.log.Append(t, m.log.ShardFor(t), &rec)
@@ -159,12 +226,43 @@ func (m *Manager) LogDelete(t *platform.Task, tx *Txn, table uint16, key, before
 	tx.Undo = append(tx.Undo, UndoRec{Table: table, Type: wal.RecDelete, Key: key, Before: before})
 }
 
+// LogInsertW, LogUpdateW and LogDeleteW are the Writes-buffered data-record
+// paths for actions executing concurrently on behalf of txnID: identical
+// charges and records, but the durability note and undo entry land in the
+// action's private buffer instead of a shared Txn. The owner merges buffers
+// at the phase barrier (Txn.MergeWrites).
+func (m *Manager) LogInsertW(t *platform.Task, txnID uint64, w *Writes, table uint16, key, after []byte) {
+	rec := wal.Record{Txn: txnID, Type: wal.RecInsert, Table: table, Key: key, After: after}
+	shard := m.log.ShardFor(t)
+	w.Shards = noteVec(w.Shards, shard, m.log.Append(t, shard, &rec), false)
+	w.Undo = append(w.Undo, UndoRec{Table: table, Type: wal.RecInsert, Key: key})
+}
+
+// LogUpdateW is the Writes-buffered LogUpdate; see LogInsertW.
+func (m *Manager) LogUpdateW(t *platform.Task, txnID uint64, w *Writes, table uint16, key, before, after []byte) {
+	rec := wal.Record{Txn: txnID, Type: wal.RecUpdate, Table: table, Key: key, Before: before, After: after}
+	shard := m.log.ShardFor(t)
+	w.Shards = noteVec(w.Shards, shard, m.log.Append(t, shard, &rec), false)
+	w.Undo = append(w.Undo, UndoRec{Table: table, Type: wal.RecUpdate, Key: key, Before: before})
+}
+
+// LogDeleteW is the Writes-buffered LogDelete; see LogInsertW.
+func (m *Manager) LogDeleteW(t *platform.Task, txnID uint64, w *Writes, table uint16, key, before []byte) {
+	rec := wal.Record{Txn: txnID, Type: wal.RecDelete, Table: table, Key: key, Before: before}
+	shard := m.log.ShardFor(t)
+	w.Shards = noteVec(w.Shards, shard, m.log.Append(t, shard, &rec), false)
+	w.Undo = append(w.Undo, UndoRec{Table: table, Type: wal.RecDelete, Key: key, Before: before})
+}
+
 // anchorShard is where a transaction's commit and abort records go: its
 // lowest touched data shard (deterministic in the shards touched), so the
 // commit record always follows the anchor's data records in that shard's
 // stream. A transaction that logged nothing anchors on the caller's shard.
+// In per-socket mode the anchor is always the caller's shard — a confined
+// terminal may only append locally — and the commit record's shard vector
+// covers the difference.
 func (m *Manager) anchorShard(t *platform.Task, tx *Txn) int {
-	if len(tx.Shards) > 0 {
+	if m.nextIDs == nil && len(tx.Shards) > 0 {
 		return tx.Shards[0].Shard
 	}
 	return m.log.ShardFor(t)
@@ -179,19 +277,31 @@ func (m *Manager) anchorShard(t *platform.Task, tx *Txn) int {
 // or hand it to a terminal (lazy commit, the DORA pattern).
 func (m *Manager) Commit(t *platform.Task, tx *Txn) *sim.Signal {
 	m.mustBeActive(tx)
-	m.commits++
+	if m.commitsBy != nil {
+		m.commitsBy[t.Core().SocketID()]++
+	} else {
+		m.commits++
+	}
 	t.Exec(stats.CompXct, m.cfg.CommitInstr)
 	rec := wal.Record{Txn: tx.ID, Type: wal.RecCommit}
-	if len(tx.Shards) > 1 {
+	anchor := m.anchorShard(t, tx)
+	// The commit record carries the shard vector whenever recovery will
+	// need it: any transaction whose data records live on a shard other
+	// than the anchor. With the classic lowest-shard anchor that is exactly
+	// the multi-shard case; with a per-socket (caller-shard) anchor a
+	// single remote data shard needs it too.
+	if len(tx.Shards) > 1 || (len(tx.Shards) == 1 && tx.Shards[0].Shard != anchor) {
 		rec.After = wal.EncodeShardVec(nil, tx.Shards)
 	}
-	anchor := m.anchorShard(t, tx)
 	lsn := m.log.Append(t, anchor, &rec)
 	tx.note(anchor, lsn) // the anchor entry now covers the commit record
 	tx.State = Committed
 	tx.Undo = nil
 	done := sim.NewSignal(m.env)
-	m.log.CommitDurable(tx.Shards, done)
+	if m.nextIDs != nil {
+		done.OnShard(t.P.Shard())
+	}
+	m.log.CommitDurableFrom(t, tx.Shards, done)
 	return done
 }
 
@@ -201,7 +311,11 @@ func (m *Manager) Commit(t *platform.Task, tx *Txn) *sim.Signal {
 // durability.
 func (m *Manager) Abort(t *platform.Task, tx *Txn, apply func(u UndoRec)) {
 	m.mustBeActive(tx)
-	m.aborts++
+	if m.abortsBy != nil {
+		m.abortsBy[t.Core().SocketID()]++
+	} else {
+		m.aborts++
+	}
 	t.Exec(stats.CompXct, m.cfg.AbortInstr)
 	for i := len(tx.Undo) - 1; i >= 0; i-- {
 		apply(tx.Undo[i])
@@ -219,10 +333,18 @@ func (m *Manager) mustBeActive(tx *Txn) {
 }
 
 // Begins returns the number of transactions started.
-func (m *Manager) Begins() int64 { return m.begins }
+func (m *Manager) Begins() int64 { return m.begins + sum(m.beginsBy) }
 
 // Commits returns the number of commit records appended.
-func (m *Manager) Commits() int64 { return m.commits }
+func (m *Manager) Commits() int64 { return m.commits + sum(m.commitsBy) }
 
 // Aborts returns the number of aborted transactions.
-func (m *Manager) Aborts() int64 { return m.aborts }
+func (m *Manager) Aborts() int64 { return m.aborts + sum(m.abortsBy) }
+
+func sum(v []int64) int64 {
+	var n int64
+	for _, x := range v {
+		n += x
+	}
+	return n
+}

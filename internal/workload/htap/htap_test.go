@@ -229,7 +229,11 @@ func TestRecoveredProjectionsMatchRebuild(t *testing.T) {
 		var trees map[uint16]*btree.Tree
 		var err error
 		env2.Spawn("recovery", func(p *sim.Proc) {
-			trees, _, err = core.RecoverMeasured(p, pl2, defs, meta, dm2, logs, parallel)
+			var sets []map[uint16]*btree.Tree
+			sets, _, err = core.RecoverMeasured(p, pl2, defs, meta, dm2, logs, parallel)
+			if err == nil {
+				trees = sets[0]
+			}
 		})
 		if runErr := env2.Run(); runErr != nil {
 			t.Fatal(runErr)
