@@ -16,6 +16,18 @@
 //	                            per mode (async/sync/quorum), then a faulted
 //	                            primary kill and the replica's measured
 //	                            failover
+//	bionicbench -fig-anatomy    per-transaction latency anatomy: p50/p99 per
+//	                            phase (queue/lock/exec/cross-shard/
+//	                            durability/replication) per engine at
+//	                            1/4/16 sockets
+//
+// The flight recorder rides along with any run-backed experiment:
+// -trace-out FILE writes each run's span trace as Chrome trace_event JSON
+// (open in chrome://tracing or Perfetto; one lane per socket, cross-socket
+// dispatches as flow arrows) and -metrics-out FILE writes the per-socket
+// telemetry time series (CSV, or JSON when the path ends in .json). Both
+// are strictly out of band: simulated results and digests are bit-identical
+// with them on or off.
 //
 // Every measurement executes through the internal/bench sweep subsystem:
 // runs fan out across -parallel workers (default GOMAXPROCS), each in its
@@ -35,14 +47,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"bionicdb/internal/bench"
 	"bionicdb/internal/core"
 	"bionicdb/internal/darksilicon"
 	"bionicdb/internal/hw/treeprobe"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -65,6 +80,9 @@ var (
 	figRecovery = flag.Bool("fig-recovery", false, "run the crash-recovery sweep (replay time + joules vs sockets)")
 	figHTAP     = flag.Bool("fig-htap", false, "run the HTAP sweep (txn throughput + scan bandwidth + freshness vs sockets, conventional vs bionic)")
 	figFailover = flag.Bool("fig-failover", false, "run the failover sweep (replication tax per mode, then a faulted primary kill and the replica's measured time-to-serving)")
+	figAnatomy  = flag.Bool("fig-anatomy", false, "run the latency-anatomy sweep (per-phase p50/p99 per engine and workload at 1/4/16 sockets)")
+	traceOut    = flag.String("trace-out", "", "write each run's span trace as Chrome trace_event JSON to this file (index-suffixed when the invocation runs multiple points)")
+	metricsOut  = flag.String("metrics-out", "", "write each run's telemetry time series to this file (.json = JSON, else CSV; index-suffixed when multiple points)")
 	shardedLog  = flag.Bool("sharded-log", false, "per-socket log shards: give every socket its own log stream and SSD (multi-socket only); -fig-scaling additionally runs the sharded axis next to the central baseline")
 	recJSON     = flag.String("recovery-json", "", "write -fig-recovery results as JSON to this file")
 	failJSON    = flag.String("failover-json", "", "write -fig-failover results as JSON to this file")
@@ -379,6 +397,10 @@ func main() {
 		timed("fig-failover", runFigFailover)
 		ran = true
 	}
+	if *all || *figAnatomy {
+		timed("fig-anatomy", runFigAnatomy)
+		ran = true
+	}
 	if !ran {
 		pprof.StopCPUProfile()
 		flag.Usage()
@@ -428,9 +450,71 @@ func emit(title string, t *stats.Table) {
 	fmt.Println()
 }
 
+// obsOpts returns the flight-recorder options the -trace-out/-metrics-out
+// flags ask for, or nil (attach nothing) when neither is given.
+func obsOpts() *obs.Options {
+	if *traceOut == "" && *metricsOut == "" {
+		return nil
+	}
+	return &obs.Options{Trace: *traceOut != "", Metrics: *metricsOut != ""}
+}
+
+// obsSeq numbers observability artifacts across the whole invocation, so
+// -all with -trace-out never overwrites one experiment's trace with the
+// next's.
+var obsSeq int
+
+// suffixPath inserts a running index before the path's extension:
+// trace.json -> trace.3.json.
+func suffixPath(path string, i int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%d%s", strings.TrimSuffix(path, ext), i, ext)
+}
+
+// writeObsArtifacts exports each result's trace and telemetry to the flag
+// paths. A single-point invocation writes the paths verbatim; otherwise
+// every artifact carries the point's invocation-wide index.
+func writeObsArtifacts(results []bench.Result) {
+	if *traceOut == "" && *metricsOut == "" {
+		return
+	}
+	single := obsSeq == 0 && len(results) == 1
+	for _, r := range results {
+		if *traceOut != "" && r.Res != nil && r.Res.Trace != nil {
+			path := *traceOut
+			if !single {
+				path = suffixPath(path, obsSeq)
+			}
+			if err := obs.WriteTraceFile(path, r.Res.Trace); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsOut != "" && r.Res != nil && r.Res.Metrics != nil {
+			path := *metricsOut
+			if !single {
+				path = suffixPath(path, obsSeq)
+			}
+			if err := r.Res.Metrics.WriteMetricsFile(path); err != nil {
+				fatal(err)
+			}
+		}
+		obsSeq++
+	}
+	// Host-side bookkeeping, so stderr: stdout stays byte-identical with
+	// the recorder on or off (the figure-parity check diffs it).
+	fmt.Fprintf(os.Stderr, "wrote observability artifacts for %d run(s)\n", len(results))
+}
+
 // runPoints executes points through the shared pool, records them for
-// -json, and fails fast on any run error.
+// -json, and fails fast on any run error. When -trace-out/-metrics-out are
+// given the flight recorder is attached to every point and its artifacts
+// written as the sweep completes.
 func runPoints(points []bench.Point) []bench.Result {
+	if o := obsOpts(); o != nil {
+		for i := range points {
+			points[i].Obs = o
+		}
+	}
 	results := bench.Run(points, bench.Options{Parallel: *parallel})
 	collected = append(collected, results...)
 	for _, r := range results {
@@ -440,6 +524,7 @@ func runPoints(points []bench.Point) []bench.Result {
 		kernelEvents += r.Res.Events
 		kernelWall += r.Wall
 	}
+	writeObsArtifacts(results)
 	return results
 }
 
@@ -890,6 +975,7 @@ func runFigFailover() {
 	if m := replMode(); m != stats.ReplNone {
 		spec.Modes = []stats.ReplMode{stats.ReplNone, m}
 	}
+	spec.Obs = obsOpts()
 	fo, steady := spec.RunFailover(bench.Options{Parallel: *parallel})
 	collected = append(collected, steady...)
 	for _, r := range fo {
@@ -897,6 +983,7 @@ func runFigFailover() {
 			fatal(r.Err)
 		}
 	}
+	writeObsArtifacts(steady)
 	emit(fmt.Sprintf("fig-failover: replication tax and measured failover over %v sockets, %d replicas",
 		socks, spec.Replicas), bench.FailoverTable(fo))
 	if *failJSON != "" {
@@ -905,6 +992,91 @@ func runFigFailover() {
 		}
 		fmt.Printf("wrote %d failover results to %s\n", len(fo), *failJSON)
 	}
+}
+
+// anatomySockets is the fig-anatomy socket axis: 1, 4 and 16 — the anchor,
+// the knee and the scale-out end of the scaling curves. -quick trims the
+// 16-socket end; -sockets > 1 caps (and extends) the axis like socketAxis.
+func anatomySockets() []int {
+	socks := []int{1, 4, 16}
+	if *quick {
+		socks = []int{1, 4}
+	}
+	if *sockets > 1 {
+		var out []int
+		for _, n := range socks {
+			if n <= *sockets {
+				out = append(out, n)
+			}
+		}
+		if out[len(out)-1] != *sockets {
+			out = append(out, *sockets)
+		}
+		return out
+	}
+	return socks
+}
+
+// runFigAnatomy prints the per-transaction latency anatomy: where committed
+// transactions' time went — partition-queue wait, lock wait, execution, the
+// cross-shard decision round, durability fan-in and the replication ack
+// wait — per engine and workload across the socket axis, p50/p99/mean per
+// phase. The anatomy is always collected by the harness (it is pure
+// clock-reading, outside every digest); this experiment surfaces it.
+// Phases overlap across a transaction's parallel actions, so shares are of
+// summed phase time, not of end-to-end latency.
+func runFigAnatomy() {
+	warmup, measure := windows()
+	socks := anatomySockets()
+	var points []bench.Point
+	for _, n := range socks {
+		tpccCfg := tpccConfig()
+		tpccCfg.Warehouses *= n
+		spec := bench.ScalingSpec{
+			Sockets: []int{n},
+			Workloads: []bench.WorkloadSpec{
+				tatpSpec(),
+				{Name: "tpcc", Make: func() core.Workload { return tpcc.New(tpccCfg) }},
+				ycsbSpec(),
+			},
+			TerminalsPerSocket: perSocketTerminals(),
+			ShardedLog:         *shardedLog,
+			Seeds:              []uint64{*seed},
+			Warmup:             warmup, Measure: measure,
+			KernelParallel: *kernelPar,
+		}
+		pts := spec.Points()
+		for i := range pts {
+			pts[i].Group = "fig-anatomy"
+		}
+		points = append(points, pts...)
+	}
+	results := runPoints(points)
+	t := stats.NewTable("workload", "engine", ">sockets", "phase",
+		">samples", ">p50", ">p99", ">mean", ">share")
+	for _, r := range results {
+		an := &r.Res.Anatomy
+		var total sim.Duration
+		for _, ph := range stats.Phases() {
+			total += an.Phase(ph).Sum()
+		}
+		for _, ph := range stats.Phases() {
+			h := an.Phase(ph)
+			if h.Count() == 0 {
+				continue
+			}
+			share := 0.0
+			if total > 0 {
+				share = float64(h.Sum()) / float64(total) * 100
+			}
+			t.Row(r.Point.Workload.Name, r.Point.Engine.Name,
+				fmt.Sprintf("%d", r.Point.Sockets), ph.String(),
+				fmt.Sprintf("%d", h.Count()),
+				h.Percentile(50).String(), h.Percentile(99).String(), h.Mean().String(),
+				fmt.Sprintf("%.0f%%", share))
+		}
+	}
+	emit(fmt.Sprintf("fig-anatomy: per-transaction latency anatomy over %v sockets", socks), t)
 }
 
 // runSaturation sweeps the probe engine's outstanding-request window. The

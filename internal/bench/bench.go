@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bionicdb/internal/core"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -95,6 +96,11 @@ type Grid struct {
 	// execution changes.
 	KernelParallel bool
 
+	// Obs attaches the flight recorder to every point (see
+	// core.RunConfig.Obs). Strictly out-of-band: digests are bit-identical
+	// with it on or off, which the observability equivalence test pins.
+	Obs *obs.Options
+
 	// Measurement windows shared by every point.
 	Warmup  sim.Duration
 	Measure sim.Duration
@@ -139,6 +145,11 @@ type Point struct {
 	// the kernel equivalence tests pin.
 	KernelParallel bool
 
+	// Obs attaches the flight recorder to this run (see core.RunConfig.Obs).
+	// Out-of-band like KernelParallel: every simulated field of the result is
+	// bit-identical with it on or off.
+	Obs *obs.Options
+
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Drain   sim.Duration
@@ -170,8 +181,8 @@ func (g *Grid) Points() []Point {
 					out = append(out, Point{
 						Index: len(out), Group: g.Group, Engine: eng, Workload: wl,
 						Terminals: t, Seed: seed, Repl: g.Repl,
-						KernelParallel: g.KernelParallel,
-						Warmup:         warmup, Measure: measure, Drain: g.Drain,
+						KernelParallel: g.KernelParallel, Obs: g.Obs,
+						Warmup: warmup, Measure: measure, Drain: g.Drain,
 					})
 				}
 			}
@@ -202,6 +213,7 @@ func (p Point) Run() Result {
 		Drain:          p.Drain,
 		Seed:           p.Seed,
 		KernelParallel: p.KernelParallel,
+		Obs:            p.Obs,
 	}
 	if p.HTAP {
 		if a, ok := wl.(core.Analytics); ok {

@@ -70,8 +70,49 @@ type jsonResult struct {
 	LogShards []logShardJSON   `json:"log_shards,omitempty"`
 	Scan      *scanJSON        `json:"scan,omitempty"`
 	ReplStats []replShardJSON  `json:"repl_shards,omitempty"`
-	WallMs    float64          `json:"wall_ms"`
-	Error     string           `json:"error,omitempty"`
+
+	// Anatomy is the per-phase latency breakdown of the point's committed
+	// transactions (one entry per phase with samples). Like Events it is a
+	// reporting field outside the sweep digest.
+	Anatomy []phaseJSON `json:"anatomy,omitempty"`
+	// WindowsByShard / StallsByShard are the parallel kernel's per-shard
+	// self-observability counters, present only on KernelParallel points.
+	// Host-execution detail, outside the digest like WallMs.
+	WindowsByShard []uint64 `json:"windows_by_shard,omitempty"`
+	StallsByShard  []uint64 `json:"stalls_by_shard,omitempty"`
+
+	WallMs float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// phaseJSON is one latency-anatomy phase in the JSON document.
+type phaseJSON struct {
+	Phase  string  `json:"phase"`
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// anatomyJSON renders the phases that saw samples, in phase order.
+func anatomyJSON(an *stats.Anatomy) []phaseJSON {
+	var out []phaseJSON
+	for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
+		h := an.Phase(ph)
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, phaseJSON{
+			Phase:  ph.String(),
+			Count:  h.Count(),
+			MeanUs: h.Mean().Microseconds(),
+			P50us:  h.Percentile(50).Microseconds(),
+			P99us:  h.Percentile(99).Microseconds(),
+			MaxUs:  h.Max().Microseconds(),
+		})
+	}
+	return out
 }
 
 // replShardJSON is one log shard's window shipping counters in the JSON
@@ -172,6 +213,9 @@ func JSON(results []Result) ([]byte, error) {
 			jr.ICJoules = res.Energy.Interconnect
 			jr.Events = res.Events
 			jr.TxnCounts = res.TxnCounts
+			jr.Anatomy = anatomyJSON(&res.Anatomy)
+			jr.WindowsByShard = res.WindowsByShard
+			jr.StallsByShard = res.StallsByShard
 			for _, sh := range res.LogShards {
 				jr.LogShards = append(jr.LogShards, logShardJSON{
 					Shard: sh.Shard, Bytes: sh.Bytes, Syncs: sh.Syncs, Epochs: sh.Epochs,

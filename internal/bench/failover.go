@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"bionicdb/internal/core"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -43,6 +44,10 @@ type FailoverSpec struct {
 	// event kernel (see core.RunConfig.KernelParallel); results stay
 	// bit-identical.
 	KernelParallel bool
+	// Obs attaches the flight recorder to every steady-state run (see
+	// core.RunConfig.Obs); results stay bit-identical. The crash phase runs
+	// uninstrumented — it stops mid-flight, so there is no window to trace.
+	Obs *obs.Options
 
 	// TerminalsPerSocket is the offered load (default 32).
 	TerminalsPerSocket int
@@ -185,7 +190,7 @@ func (s FailoverSpec) RunFailover(opt Options) ([]FailoverResult, []Result) {
 		}
 		wl := s.Workload(n)
 		spec := engine(cfg, pps*n, window)
-		out[i], steady[i] = runFailoverPoint(cfg, spec, wl, mode, s.KernelParallel,
+		out[i], steady[i] = runFailoverPoint(cfg, spec, wl, mode, s.KernelParallel, s.Obs,
 			tps*n, seed, warmup, measure, detect, !s.NoFaultWindows)
 		out[i].Sockets = n
 		out[i].ShardedLog = cfg.ShardedLog()
@@ -214,7 +219,7 @@ func (s FailoverSpec) RunFailover(opt Options) ([]FailoverResult, []Result) {
 // runFailoverPoint measures one (config, mode): a steady-state run, then —
 // for replicated modes — a faulted crash run and the replica's failover
 // boot.
-func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, mode stats.ReplMode, kernelParallel bool,
+func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec, mode stats.ReplMode, kernelParallel bool, obsOpt *obs.Options,
 	terminals int, seed uint64, warmup, measure sim.Duration, detect sim.Duration, windows bool) (FailoverResult, Result) {
 	res := FailoverResult{Engine: spec.Name, Workload: wlSpec.Name, Mode: mode, DigestOK: true}
 
@@ -223,8 +228,8 @@ func runFailoverPoint(cfg *platform.Config, spec EngineSpec, wlSpec WorkloadSpec
 		Group: "fig-failover", Engine: spec, Workload: wlSpec,
 		Terminals: terminals, Seed: seed,
 		Sockets: cfg.NumSockets(), ShardedLog: cfg.ShardedLog(), Repl: mode,
-		KernelParallel: kernelParallel,
-		Warmup:         warmup, Measure: measure,
+		KernelParallel: kernelParallel, Obs: obsOpt,
+		Warmup: warmup, Measure: measure,
 	}
 	sr := p.Run()
 	if sr.Err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bionicdb/internal/core"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -42,6 +43,9 @@ type ScalingSpec struct {
 	// KernelParallel runs every point on the parallel event kernel (see
 	// core.RunConfig.KernelParallel); results stay bit-identical.
 	KernelParallel bool
+	// Obs attaches the flight recorder to every point (see
+	// core.RunConfig.Obs); results stay bit-identical.
+	Obs *obs.Options
 
 	Seeds   []uint64
 	Warmup  sim.Duration
@@ -127,8 +131,8 @@ func (s ScalingSpec) Points() []Point {
 						Engine: spec, Workload: wl,
 						Terminals: tps * n, Seed: seed, Sockets: n,
 						ShardedLog:     cfg.ShardedLog(),
-						KernelParallel: s.KernelParallel,
-						Warmup:         warmup, Measure: measure, Drain: s.Drain,
+						KernelParallel: s.KernelParallel, Obs: s.Obs,
+						Warmup: warmup, Measure: measure, Drain: s.Drain,
 					})
 				}
 			}

@@ -6,6 +6,7 @@ import (
 	"bionicdb/internal/btree"
 	"bionicdb/internal/bufferpool"
 	"bionicdb/internal/lockmgr"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -159,6 +160,21 @@ func (e *Conventional) ReplStats() []stats.ReplicationStats {
 	return nil
 }
 
+// ObsGauges implements the telemetry gauge surface. The shared-everything
+// engine has no partition queues; its lock table, central log and
+// replication stream all live on socket 0, so other sockets read zero.
+func (e *Conventional) ObsGauges(socket int) obs.Gauges {
+	var g obs.Gauges
+	if socket == 0 {
+		g.LockWaiters = e.lm.CurWaiters()
+		g.LogBacklog = e.logMgr.Backlog()
+		if rs := e.logSet.Replication(); rs != nil {
+			g.ReplLag = rs.CurLagBytes()
+		}
+	}
+	return g
+}
+
 // Close implements Engine.
 func (e *Conventional) Close() {
 	e.logMgr.Stop()
@@ -169,12 +185,31 @@ func (e *Conventional) Close() {
 
 // Submit implements Engine.
 func (e *Conventional) Submit(term *Terminal, logic TxnLogic) bool {
+	term.Ph = [stats.NumPhases]sim.Duration{}
+	start := term.P.Now()
+	committed, txid := e.submit(term, logic)
+	if end := term.P.Now(); end > start {
+		term.Rec.Record(obs.Span{Start: start, End: end, Kind: obs.KindSubmit,
+			Socket: int32(term.Core.SocketID()), Txn: txid})
+	}
+	return committed
+}
+
+func (e *Conventional) submit(term *Terminal, logic TxnLogic) (bool, uint64) {
 	for attempt := 0; ; attempt++ {
 		task := e.pl.NewTask(term.P, term.Core, e.bd)
 		task.Exec(stats.CompFrontEnd, frontEndInstr)
 		tx := e.tm.Begin(task)
-		ctx := &convCtx{e: e, task: task, tx: tx}
+		ctx := &convCtx{e: e, task: task, tx: tx, term: term}
+		logicStart := term.P.Now()
 		ok := logic(&convTx{ctx: ctx})
+		// Anatomy: the logic's elapsed time splits into lock-manager time
+		// (accumulated by convCtx.lock around acquires, waits included) and
+		// everything else, which for this engine is execution.
+		term.Ph[stats.PhaseLock] += ctx.lockD
+		if d := term.P.Now().Sub(logicStart) - ctx.lockD; d > 0 {
+			term.Ph[stats.PhaseExec] += d
+		}
 		if ctx.err != nil {
 			// Engine-induced abort (deadlock victim): roll back and retry.
 			e.rollback(task, ctx)
@@ -183,12 +218,12 @@ func (e *Conventional) Submit(term *Terminal, logic TxnLogic) bool {
 				continue
 			}
 			e.ctr.Inc("aborts.giveup", 1)
-			return false
+			return false, tx.ID
 		}
 		if !ok {
 			e.rollback(task, ctx)
 			e.ctr.Inc("aborts.user", 1)
-			return false
+			return false, tx.ID
 		}
 		sig := e.tm.Commit(task, tx)
 		task.Flush()
@@ -197,9 +232,15 @@ func (e *Conventional) Submit(term *Terminal, logic TxnLogic) bool {
 		e.lockTax(task)
 		e.lm.ReleaseAll(task, tx.ID)
 		task.Flush()
+		w0 := term.P.Now()
 		sig.Await(term.P)
+		if w1 := term.P.Now(); w1 > w0 {
+			term.Ph[stats.PhaseDur] += w1.Sub(w0)
+			term.Rec.Record(obs.Span{Start: w0, End: w1, Kind: obs.KindDurability,
+				Socket: int32(term.Core.SocketID()), Txn: tx.ID})
+		}
 		e.ctr.Inc("commits", 1)
-		return true
+		return true, tx.ID
 	}
 }
 
@@ -287,7 +328,12 @@ type convCtx struct {
 	e    *Conventional
 	task *platform.Task
 	tx   *txn.Txn
+	term *Terminal
 	err  error
+
+	// lockD accumulates elapsed time inside lock-manager interactions
+	// (NUMA tax, acquire CPU and blocked waits) for the latency anatomy.
+	lockD sim.Duration
 }
 
 // lockTableSocket is where the conventional engine's centralized lock
@@ -317,6 +363,8 @@ func (c *convCtx) lock(table uint16, key []byte, tableMode, rowMode lockmgr.Mode
 	if c.err != nil {
 		return false
 	}
+	t0 := c.task.P.Now()
+	defer c.noteLock(t0)
 	c.e.lockTax(c.task)
 	if err := c.e.lm.Acquire(c.task, c.tx.ID, c.e.tableLocks[table], tableMode); err != nil {
 		c.err = err
@@ -327,6 +375,18 @@ func (c *convCtx) lock(table uint16, key []byte, tableMode, rowMode lockmgr.Mode
 		return false
 	}
 	return true
+}
+
+// noteLock folds the elapsed time since t0 into the lock phase and, when
+// tracing, records it as a lock-wait span.
+func (c *convCtx) noteLock(t0 sim.Time) {
+	t1 := c.task.P.Now()
+	if t1 <= t0 {
+		return
+	}
+	c.lockD += t1.Sub(t0)
+	c.term.Rec.Record(obs.Span{Start: t0, End: t1, Kind: obs.KindLockWait,
+		Socket: int32(c.task.Core().SocketID()), Txn: c.tx.ID})
 }
 
 // Read implements AccessCtx.
@@ -398,11 +458,14 @@ func (c *convCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool)
 	if c.err != nil {
 		return
 	}
+	t0 := c.task.P.Now()
 	c.e.lockTax(c.task)
 	if err := c.e.lm.Acquire(c.task, c.tx.ID, c.e.tableLocks[table], lockmgr.IS); err != nil {
 		c.err = err
+		c.noteLock(t0)
 		return
 	}
+	c.noteLock(t0)
 	tr := c.e.traces.Get()
 	rows := c.e.kvs.Get()
 	defer func() { c.e.kvs.Put(rows) }()

@@ -11,6 +11,7 @@ import (
 	"bionicdb/internal/hw/overlay"
 	"bionicdb/internal/hw/queueengine"
 	"bionicdb/internal/hw/treeprobe"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -455,6 +456,17 @@ func (e *DORAEngine) Close() {
 
 // Submit implements Engine.
 func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
+	term.Ph = [stats.NumPhases]sim.Duration{}
+	start := term.P.Now()
+	committed, txid := e.submit(term, logic)
+	if end := term.P.Now(); end > start {
+		term.Rec.Record(obs.Span{Start: start, End: end, Kind: obs.KindSubmit,
+			Socket: int32(term.Core.SocketID()), Txn: txid})
+	}
+	return committed
+}
+
+func (e *DORAEngine) submit(term *Terminal, logic TxnLogic) (bool, uint64) {
 	bd, ctr := e.bd, e.ctr
 	if e.engineSharded {
 		soc := term.Core.SocketID()
@@ -473,12 +485,12 @@ func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
 				continue
 			}
 			ctr.Inc("aborts.giveup", 1)
-			return false
+			return false, tx.ID
 		}
 		if !ok {
 			e.rollback(term, task, dtx)
 			ctr.Inc("aborts.user", 1)
-			return false
+			return false, tx.ID
 		}
 		sig := e.tm.Commit(task, tx)
 		task.Flush()
@@ -491,14 +503,32 @@ func (e *DORAEngine) Submit(term *Terminal, logic TxnLogic) bool {
 		// does the decision broadcast let dependents proceed. Transactions
 		// whose writes stay on one shard keep the early-release fast path
 		// — same-shard group commit orders their dependents for free.
+		tDur0 := term.P.Now()
 		if e.sharded && len(tx.Shards) > 1 {
 			sig.Await(term.P)
 		}
+		tCross0 := term.P.Now()
 		e.crossShardDecision(term, task, dtx, true)
+		tCross1 := term.P.Now()
 		e.releaseLocks(task, dtx)
+		tWait0 := term.P.Now()
 		sig.Await(term.P)
+		tWait1 := term.P.Now()
+		soc := int32(term.Core.SocketID())
+		if tCross0 > tDur0 {
+			term.Ph[stats.PhaseDur] += tCross0.Sub(tDur0)
+			term.Rec.Record(obs.Span{Start: tDur0, End: tCross0, Kind: obs.KindDurability, Socket: soc, Txn: tx.ID})
+		}
+		if tCross1 > tCross0 {
+			term.Ph[stats.PhaseCross] += tCross1.Sub(tCross0)
+			term.Rec.Record(obs.Span{Start: tCross0, End: tCross1, Kind: obs.KindCross, Socket: soc, Txn: tx.ID})
+		}
+		if tWait1 > tWait0 {
+			term.Ph[stats.PhaseDur] += tWait1.Sub(tWait0)
+			term.Rec.Record(obs.Span{Start: tWait0, End: tWait1, Kind: obs.KindDurability, Socket: soc, Txn: tx.ID})
+		}
 		ctr.Inc("commits", 1)
-		return true
+		return true, tx.ID
 	}
 }
 
@@ -839,6 +869,15 @@ func (t *doraTx) Phase(actions ...Action) bool {
 			t.tx.MergeWrites(w)
 		}
 	}
+	// Fold the partition-side stamps into the transaction's anatomy. The
+	// actions are all complete (the RVP fired through the kernel's
+	// cross-shard handoff), so reading their stamps here is ordered even on
+	// the concurrent kernel.
+	for _, da := range das {
+		t.term.Ph[stats.PhaseQueue] += da.QueueWait
+		t.term.Ph[stats.PhaseLock] += da.LockWait
+		t.term.Ph[stats.PhaseExec] += da.ExecTime
+	}
 	if !ok {
 		for _, da := range das {
 			if da.Refused {
@@ -1005,3 +1044,43 @@ func (c *doraCtx) Scan(table uint16, from, to []byte, fn func(k, v []byte) bool)
 
 // Partitions exposes the partition set (diagnostics).
 func (e *DORAEngine) Partitions() []*dora.Partition { return e.parts }
+
+// SetRecorder attaches the flight recorder to every layer this engine
+// owns: the partitions (queue-wait, lock-wait, action and flow-edge spans)
+// and the overlay merge daemon. Host-side only; the harness calls it after
+// construction, before any terminal starts.
+func (e *DORAEngine) SetRecorder(rec *obs.Recorder) {
+	for _, pt := range e.parts {
+		pt.SetRecorder(rec)
+	}
+	if e.ov != nil {
+		e.ov.SetRecorder(rec.Shard(0))
+	}
+}
+
+// ObsGauges implements the telemetry gauge surface: partition input-queue
+// depth and deferred actions summed over the socket's partitions, the
+// socket's log-shard flush backlog, and (socket 0, where replication
+// lives) the worst replica lag. On an engine-sharded run each socket's
+// gauges are read only by its own kernel shard's sampler.
+func (e *DORAEngine) ObsGauges(socket int) obs.Gauges {
+	var g obs.Gauges
+	for _, pt := range e.parts {
+		if pt.Socket() != socket {
+			continue
+		}
+		g.QueueDepth += pt.QueueLen()
+		g.Deferred += pt.DeferredActions()
+	}
+	if e.sharded {
+		g.LogBacklog = e.logSet.Backlog(socket)
+	} else if socket == 0 {
+		g.LogBacklog = e.logSet.Backlog(0)
+	}
+	if socket == 0 {
+		if rs := e.logSet.Replication(); rs != nil {
+			g.ReplLag = rs.CurLagBytes()
+		}
+	}
+	return g
+}

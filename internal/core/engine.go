@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -58,6 +59,18 @@ type Terminal struct {
 	P    *sim.Proc
 	Core *platform.Core
 	R    *sim.Rand
+
+	// Ph accumulates the current transaction's per-phase durations (queue,
+	// lock, exec, cross-shard, durability). Engines reset it at Submit
+	// entry and fill it as the transaction moves; the harness folds
+	// committed in-window values into the run's latency anatomy. Host-side
+	// scratch: never read by simulated logic.
+	Ph [stats.NumPhases]sim.Duration
+
+	// Rec is the flight-recorder ring of the terminal's home kernel shard,
+	// nil when untraced. Engines record submit, durability-wait and
+	// cross-shard decision spans into it from the terminal's process.
+	Rec *obs.ShardRec
 }
 
 // Engine is a complete transaction processing system under one cost model.

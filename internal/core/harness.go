@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
+	"bionicdb/internal/wal"
 )
 
 // Workload is a benchmark: schema, population, partitioning and a
@@ -48,6 +50,13 @@ type RunConfig struct {
 	// (the HTAP mixed workloads). Nil leaves the run bit-identical to the
 	// pre-HTAP harness.
 	Analytics Analytics
+	// Obs selects the flight recorder's faces (span tracing, telemetry
+	// sampling). Observation is strictly out of band: enabling it changes
+	// no simulated time, energy, randomness or event order, so every
+	// simulated result is bit-identical with it on or off. Nil attaches
+	// nothing. The per-transaction latency anatomy is always collected; it
+	// needs no option.
+	Obs *obs.Options
 }
 
 // DefaultRunConfig returns a config suitable for the figure generators.
@@ -94,6 +103,51 @@ type Result struct {
 	// run — the witness that engine work actually executed off shard 0. Nil
 	// on classic runs, and deliberately not part of the sweep digest.
 	EventsByShard []uint64
+
+	// Anatomy is the per-phase latency breakdown (queue, lock, exec,
+	// cross-shard, durability, replication) of committed in-window
+	// transactions: per-terminal recordings merged in terminal-ID order,
+	// plus the windowed engine-level replication-wait histogram. Always
+	// collected; deliberately not part of the sweep digest.
+	Anatomy stats.Anatomy
+
+	// WindowsByShard and StallsByShard are the parallel kernel's
+	// self-observability counters for the whole run: window rounds executed
+	// and barrier rounds sat out per shard. Nil on serial-kernel runs; not
+	// part of the sweep digest.
+	WindowsByShard []uint64
+	StallsByShard  []uint64
+
+	// Trace is the flight recorder holding the run's spans when
+	// RunConfig.Obs enabled tracing; nil otherwise. Export with
+	// obs.WriteTrace.
+	Trace *obs.Recorder
+
+	// Metrics is the telemetry time series when RunConfig.Obs enabled
+	// sampling; nil otherwise.
+	Metrics *obs.Telemetry
+}
+
+// gaugeReader is implemented by engines exposing instantaneous queue, lock
+// and log gauges to the telemetry sampler.
+type gaugeReader interface {
+	ObsGauges(socket int) obs.Gauges
+}
+
+// sampleSocket builds one telemetry sample for socket as seen from shard.
+// It only reads state owned by that shard (or by the whole run when the
+// classic single-shard layout samples every socket from shard 0).
+func sampleSocket(env *sim.Env, pl *platform.Platform, gr gaugeReader, socket, shard int, now sim.Time) obs.Sample {
+	smp := obs.Sample{At: now, Socket: socket}
+	if gr != nil {
+		g := gr.ObsGauges(socket)
+		smp.QueueDepth, smp.Deferred, smp.LockWaiters = g.QueueDepth, g.Deferred, g.LockWaiters
+		smp.LogBacklog, smp.ReplLag = g.LogBacklog, g.ReplLag
+	}
+	smp.Instructions, smp.DRAMBytes, smp.LLCHits, smp.LLCMisses = pl.SocketCounters(socket)
+	smp.EgressBusy = pl.EgressBusy(socket)
+	smp.Events, smp.Windows, smp.Stalls = env.ShardCounters(shard)
+	return smp
 }
 
 // logStatser is implemented by engines that report per-shard log counters.
@@ -168,6 +222,53 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	if shardedRun && cfg.Analytics != nil {
 		return nil, fmt.Errorf("core: analytics is not supported on an engine-sharded run")
 	}
+
+	// Flight recorder: spans into one ring per kernel shard, each written
+	// only by its own shard's goroutine. Attached before any event runs;
+	// strictly out of band (see RunConfig.Obs).
+	var rec *obs.Recorder
+	if cfg.Obs.TraceOn() {
+		rec = obs.NewRecorder(env.NumShards(), cfg.Obs.Cap())
+		if sr, ok := eng.(interface{ SetRecorder(*obs.Recorder) }); ok {
+			sr.SetRecorder(rec)
+		}
+	}
+	// Engine-level anatomy (replication ack waits) accumulates from run
+	// start; the snapshot closures below window it. The recorder hook rides
+	// along when tracing. Always wired: recording is a host-side histogram
+	// update per commit-path ack wait.
+	engAn := &stats.Anatomy{}
+	if rp, ok := eng.(interface{ Replicator() *wal.ReplicaSet }); ok {
+		if rs := rp.Replicator(); rs != nil {
+			rs.SetObs(rec.Shard(0), engAn)
+		}
+	}
+	// Telemetry: per-socket samplers on a fixed simulated-time tick, fired
+	// from the kernel's clock-advance path (no events scheduled). On an
+	// engine-sharded run each socket is sampled by its own shard; the
+	// classic layout simulates everything on shard 0 and samples every
+	// socket from there.
+	var tel *obs.Telemetry
+	if cfg.Obs.MetricsOn() {
+		tel = obs.NewTelemetry(pl.NumSockets(), cfg.Obs.Tick())
+		gr, _ := eng.(gaugeReader)
+		if shardedRun {
+			for s := 0; s < pl.NumSockets(); s++ {
+				s := s
+				sh := pl.ShardOf(s)
+				env.SetSampler(sh, tel.Tick, func(now sim.Time) {
+					tel.Append(sampleSocket(env, pl, gr, s, sh, now))
+				})
+			}
+		} else {
+			env.SetSampler(0, tel.Tick, func(now sim.Time) {
+				for s := 0; s < pl.NumSockets(); s++ {
+					tel.Append(sampleSocket(env, pl, gr, s, 0, now))
+				}
+			})
+		}
+	}
+
 	root := sim.NewRand(cfg.Seed)
 	wl.Populate(eng.Load, root.Split())
 	if warmer, ok := eng.(interface{ Warm() }); ok {
@@ -181,6 +282,11 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	var arun AnalyticsRun
 	if cfg.Analytics != nil {
 		arun = cfg.Analytics.Attach(env, eng, root.Split())
+		if rec != nil {
+			if sr, ok := arun.(interface{ SetRecorder(*obs.ShardRec) }); ok {
+				sr.SetRecorder(rec.Shard(0))
+			}
+		}
 	}
 
 	warmT := sim.Time(cfg.Warmup)
@@ -202,7 +308,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 	var startLog, endLog []stats.LogShardStats
 	var startRepl, endRepl []stats.ReplicationStats
 	var startScan, endScan stats.ScanStats
+	var startEngAn, endEngAn stats.Anatomy
 	snapStart := func() {
+		startEngAn = *engAn
 		startBD = *eng.Breakdown()
 		startSnap = pl.Snapshot()
 		startCommits = eng.Counters().Get("commits")
@@ -218,6 +326,7 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		}
 	}
 	snapEnd := func() {
+		endEngAn = *engAn
 		endBD = *eng.Breakdown()
 		endSnap = pl.Snapshot()
 		endCommits = eng.Counters().Get("commits")
@@ -244,6 +353,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		termCounts = make([]map[string]int64, cfg.Terminals)
 		termLats = make([]*stats.Histogram, cfg.Terminals)
 	}
+	// Per-terminal anatomy, merged in terminal-ID order after the run —
+	// like the latency reservoir, written only by the terminal's own shard.
+	termAns := make([]stats.Anatomy, cfg.Terminals)
 	for i := 0; i < cfg.Terminals; i++ {
 		i := i
 		tr := root.Split()
@@ -254,8 +366,17 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 			termLats[i] = &stats.Histogram{}
 			counts, lat = termCounts[i], termLats[i]
 		}
+		var termRec *obs.ShardRec
+		if rec != nil {
+			sh := 0
+			if shardedRun {
+				sh = pl.ShardOfCore(core)
+			}
+			termRec = rec.Shard(sh)
+		}
+		an := &termAns[i]
 		body := func(p *sim.Proc) {
-			term := &Terminal{ID: i, P: p, Core: core, R: tr}
+			term := &Terminal{ID: i, P: p, Core: core, R: tr, Rec: termRec}
 			for !stop {
 				name, logic := wl.NextTxn(term.R)
 				start := p.Now()
@@ -264,6 +385,9 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 					counts[name]++
 					if committed {
 						lat.Record(p.Now().Sub(start))
+						for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
+							an.Record(ph, term.Ph[ph])
+						}
 					}
 				}
 			}
@@ -343,6 +467,19 @@ func Run(cfg RunConfig, wl Workload, mk func(env *sim.Env) Engine) (*Result, err
 		}
 		res.EventsByShard = env.ShardExecuted()
 	}
+	// Latency anatomy: per-terminal phase histograms merged in terminal-ID
+	// order, then the windowed engine-level replication-wait histogram.
+	for i := range termAns {
+		res.Anatomy.Merge(&termAns[i])
+	}
+	windowedAn := endEngAn.Sub(&startEngAn)
+	res.Anatomy.Merge(&windowedAn)
+	if cfg.KernelParallel {
+		res.WindowsByShard = env.ShardWindows()
+		res.StallsByShard = env.ShardStalls()
+	}
+	res.Trace = rec
+	res.Metrics = tel
 	res.Events = env.Executed()
 	return res, nil
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -74,6 +75,28 @@ type Action struct {
 	// ran. Coordinators use it to distinguish engine aborts (retry) from
 	// user aborts (do not retry).
 	Refused bool
+
+	// Flight-recorder stamps, maintained by the partition as the action
+	// moves through queue, lock and execution stages. The durations
+	// accumulate across re-dispatches (a deferred action re-enters the
+	// queue); coordinators fold them into the transaction's latency
+	// anatomy after the RVP. Flow links a cross-socket enqueue to its
+	// dequeue in the trace. All host-side: never read by simulated logic.
+	EnqAt     sim.Time
+	QueueWait sim.Duration
+	LockWait  sim.Duration
+	ExecTime  sim.Duration
+	Flow      uint64
+
+	defAt sim.Time // when parked on a deferred list; lock wait starts here
+}
+
+// ResetStamps clears the flight-recorder stamps so a pooled Action can be
+// reused without leaking the previous transaction's timings.
+func (a *Action) ResetStamps() {
+	a.EnqAt, a.defAt = 0, 0
+	a.QueueWait, a.LockWait, a.ExecTime = 0, 0, 0
+	a.Flow = 0
 }
 
 // RVP is a rendezvous point: the join of a fan-out of actions. The signal
@@ -220,6 +243,13 @@ type Partition struct {
 	HWQueue *platform.HWUnit
 	// HWQueueCycles is the unit occupancy per queue operation.
 	HWQueueCycles int
+
+	// Flight recorder (SetRecorder): recs spans all shards for cross-shard
+	// flow edges, rec is this partition's home-shard ring. Nil when
+	// untraced; action stamps are maintained regardless (they cost a few
+	// clock reads and feed the always-on latency anatomy).
+	recs *obs.Recorder
+	rec  *obs.ShardRec
 }
 
 type entityLock struct {
@@ -256,6 +286,22 @@ func NewPartition(pl *platform.Platform, reg *Registry, id int, core *platform.C
 // Socket returns the socket this partition's owning core lives on.
 func (pt *Partition) Socket() int { return pt.socket }
 
+// SetRecorder attaches the flight recorder. The partition records
+// queue-wait, lock-wait and action-execution spans into its own kernel
+// shard's ring; cross-socket enqueues and votes additionally record
+// flow-edge markers into the sending and receiving shards' rings (each
+// ring is written only from its own shard's goroutine, so the recorder
+// stays race-free under the parallel kernel). Host-side only: attaching a
+// recorder changes no simulated behavior. Call after Confine.
+func (pt *Partition) SetRecorder(rec *obs.Recorder) {
+	pt.recs = rec
+	sh := 0
+	if pt.confined {
+		sh = pt.shard
+	}
+	pt.rec = rec.Shard(sh)
+}
+
 // Confine homes the partition on its socket's kernel shard: the input
 // queue moves onto the shard, the queue slots move into the socket's
 // private arena, and Start will spawn the worker there. Call at setup
@@ -287,7 +333,16 @@ func (pt *Partition) Enqueue(t *platform.Task, a *Action) {
 			// touches the remote queue slots.
 			t.Exec(stats.CompDora, pt.Costs.EnqueueInstr)
 			t.Flush()
+			if sRec := pt.recs.Shard(pt.pl.ShardOf(from)); sRec != nil {
+				// Flow edge: an instant marker on the sender's shard, tied
+				// by id to the queue-wait span on the partition's shard.
+				a.Flow = sRec.NextFlow()
+				now := t.P.Now()
+				sRec.Record(obs.Span{Start: now, End: now, Kind: obs.KindDispatch,
+					Socket: int32(from), Txn: a.TxnID, Flow: a.Flow, FlowOut: true})
+			}
 			arrival := pt.pl.IC.Send(t.P, from, pt.socket, actionMsgBytes)
+			a.EnqAt = arrival
 			t.P.CrossAt(pt.shard, arrival, func() {
 				if pt.in.Closed() {
 					return // machine shut down while the descriptor was in flight
@@ -317,6 +372,7 @@ func (pt *Partition) Enqueue(t *platform.Task, a *Action) {
 			ic.Transfer(t.P, from, pt.socket, actionMsgBytes)
 		}
 	}
+	a.EnqAt = t.P.Now()
 	if a.Priority {
 		pt.in.PutFront(a)
 		return
@@ -420,6 +476,24 @@ func (pt *Partition) startAction(a *Action) {
 // dispatch charges the dequeue, resolves the local lock, and either runs,
 // defers, or abort-votes the action.
 func (pt *Partition) dispatch(task *platform.Task, a *Action) {
+	if at := task.P.Now(); a.defAt != 0 {
+		// Re-dispatch of a deferred action: the park-to-grant gap (plus the
+		// re-queue hop) is lock wait, not queue wait.
+		if at > a.defAt {
+			a.LockWait += at.Sub(a.defAt)
+			pt.rec.Record(obs.Span{Start: a.defAt, End: at, Kind: obs.KindLockWait,
+				Socket: int32(pt.socket), Txn: a.TxnID})
+		}
+		a.defAt = 0
+	} else if a.EnqAt != 0 {
+		if at > a.EnqAt {
+			a.QueueWait += at.Sub(a.EnqAt)
+		}
+		// Recorded even at zero width so a cross-socket flow edge always
+		// has its receiving end.
+		pt.rec.Record(obs.Span{Start: a.EnqAt, End: at, Kind: obs.KindQueueWait,
+			Socket: int32(pt.socket), Txn: a.TxnID, Flow: a.Flow})
+	}
 	if pt.HWQueue != nil {
 		task.Exec(stats.CompDora, pt.Costs.DequeueInstr/4)
 		task.Flush()
@@ -457,6 +531,7 @@ func (pt *Partition) dispatch(task *platform.Task, a *Action) {
 			}
 			pt.reg.add(a.TxnID, l.owner)
 			pt.defers++
+			a.defAt = task.P.Now()
 			l.deferred = append(l.deferred, a)
 			return
 		}
@@ -465,7 +540,13 @@ func (pt *Partition) dispatch(task *platform.Task, a *Action) {
 }
 
 func (pt *Partition) run(task *platform.Task, a *Action) {
+	t0 := task.P.Now()
 	vote := a.Run(task, pt)
+	if t1 := task.P.Now(); t1 > t0 {
+		a.ExecTime += t1.Sub(t0)
+		pt.rec.Record(obs.Span{Start: t0, End: t1, Kind: obs.KindAction,
+			Socket: int32(pt.socket), Txn: a.TxnID})
+	}
 	pt.finish(task, a, vote)
 }
 
@@ -480,8 +561,23 @@ func (pt *Partition) finish(task *platform.Task, a *Action, vote bool) {
 			// the coordinator's RVP — homed on its shard — after the hop
 			// latency, without this worker blocking through the transfer.
 			rvp := a.RVP
-			arrival := pt.pl.IC.Send(task.P, pt.socket, a.ReplySocket, actionMsgBytes)
-			task.P.CrossAt(pt.pl.ShardOf(a.ReplySocket), arrival, func() {
+			var flow uint64
+			txn, replySocket := a.TxnID, a.ReplySocket
+			if pt.rec != nil {
+				flow = pt.rec.NextFlow()
+				now := task.P.Now()
+				pt.rec.Record(obs.Span{Start: now, End: now, Kind: obs.KindDispatch,
+					Socket: int32(pt.socket), Txn: txn, Flow: flow, FlowOut: true})
+			}
+			arrival := pt.pl.IC.Send(task.P, pt.socket, replySocket, actionMsgBytes)
+			home := pt.pl.ShardOf(replySocket)
+			task.P.CrossAt(home, arrival, func() {
+				if flow != 0 {
+					// The action itself may be recycled by now; the captured
+					// stamps are all the callback touches.
+					pt.recs.Shard(home).Record(obs.Span{Start: arrival, End: arrival,
+						Kind: obs.KindDispatch, Socket: int32(replySocket), Txn: txn, Flow: flow})
+				}
 				rvp.Arrive(vote)
 			})
 			return

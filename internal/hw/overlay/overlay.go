@@ -15,6 +15,7 @@ import (
 
 	"bionicdb/internal/btree"
 	"bionicdb/internal/hw/treeprobe"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -89,7 +90,15 @@ type Store struct {
 
 	idleWriters []*writeWorker           // pooled posted-write completion processes
 	rowsPool    sim.ScratchPool[scanRow] // pooled scan materialization buffers
+
+	// rec, when non-nil, records one overlay-merge span per non-empty
+	// bulk-merge pass (SetRecorder). Host-side only.
+	rec *obs.ShardRec
 }
+
+// SetRecorder attaches the flight recorder's ring for the kernel shard the
+// merge daemon runs on. Attaching it changes no simulated behavior.
+func (s *Store) SetRecorder(rec *obs.ShardRec) { s.rec = rec }
 
 // scanRow is one materialized scan result row.
 type scanRow struct{ k, v []byte }
@@ -385,6 +394,7 @@ func (s *Store) mergeLoop(p *sim.Proc) {
 }
 
 func (s *Store) mergeOnce(p *sim.Proc) {
+	mergeStart := p.Now()
 	budget := s.cfg.MergeBatchRows
 	totalBytes := 0
 	// Tables and dirty keys merge in sorted order: which rows a pass picks
@@ -423,6 +433,9 @@ func (s *Store) mergeOnce(p *sim.Proc) {
 	}
 	if s.AfterMerge != nil {
 		s.AfterMerge(p)
+	}
+	if end := p.Now(); end > mergeStart {
+		s.rec.Record(obs.Span{Start: mergeStart, End: end, Kind: obs.KindMerge})
 	}
 }
 

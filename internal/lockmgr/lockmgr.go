@@ -396,6 +396,10 @@ func (m *Manager) Deadlocks() int64 { return m.deadlocks }
 // WaitTime returns the cumulative blocked time across all transactions.
 func (m *Manager) WaitTime() sim.Duration { return m.waitTime }
 
+// CurWaiters returns the number of transactions currently blocked waiting
+// for a lock — an instantaneous gauge for the telemetry sampler.
+func (m *Manager) CurWaiters() int { return len(m.waiting) }
+
 // RowLock names a row lock for table t and primary key. The name is built
 // by hand — identical bytes to the old fmt.Sprintf("r%d:%s", ...) — because
 // two lock names are built per row access on the conventional engine's hot

@@ -340,6 +340,25 @@ func (pl *Platform) CacheStats() CacheStats {
 	return s
 }
 
+// SocketCounters returns one socket's cumulative hardware counters:
+// instructions retired, cached-path DRAM fill bytes, and LLC hits/misses.
+// All four live on the Socket, so on a confined platform they are owned by
+// that socket's kernel shard — the telemetry sampler reads them from there.
+func (pl *Platform) SocketCounters(socket int) (instructions, dramBytes, llcHits, llcMisses int64) {
+	sock := pl.Sockets[socket]
+	return sock.instructions, sock.dramLineBytes, sock.l3.hits, sock.l3.misses
+}
+
+// EgressBusy returns the cumulative serialization busy time of one socket's
+// interconnect egress port, or 0 on a single-socket machine (no
+// interconnect is built).
+func (pl *Platform) EgressBusy(socket int) sim.Duration {
+	if pl.IC == nil {
+		return 0
+	}
+	return pl.IC.ports[socket].BusyTime()
+}
+
 // Core is one general-purpose CPU core: a capacity-1 resource plus private
 // L1/L2 caches, belonging to one socket. Engine code does not use Core
 // directly; it charges through a Task bound to a core.

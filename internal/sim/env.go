@@ -68,6 +68,16 @@ type shard struct {
 	inboxMu  sync.Mutex
 	inbox    []crossEvent // cross-shard arrivals, merged at the next barrier
 	crossSeq uint64       // ticket counter for posts ORIGINATING on this shard
+	windows  uint64       // window rounds this shard ran (parallel only)
+	stalls   uint64       // barrier rounds this shard sat out on its bound
+
+	// Host-side sampler hook (see SetSampler). The hook fires whenever the
+	// shard clock crosses obsNext — checked at the two places the clock
+	// advances (dispatch and the Wait fast path) — so sampling schedules no
+	// kernel events and cannot perturb the event order.
+	obsTick Duration
+	obsNext Time
+	obsFn   func(now Time)
 }
 
 type event struct {
@@ -275,6 +285,9 @@ func (s *shard) dispatch(self *Proc) baton {
 		ev := s.pop()
 		s.now = ev.at
 		s.executed++
+		if s.obsFn != nil && s.now >= s.obsNext {
+			s.fireObs()
+		}
 		if ev.fn != nil {
 			ev.fn()
 			continue
@@ -461,6 +474,9 @@ func (p *Proc) Wait(d Duration) {
 	if s.cur == p && t <= s.horizon && (len(s.events) == 0 || s.events[0].at > t) {
 		s.now = t
 		s.executed++
+		if s.obsFn != nil && s.now >= s.obsNext {
+			s.fireObs()
+		}
 		return
 	}
 	p.env.scheduleWake(p, t)
@@ -484,3 +500,52 @@ func (p *Proc) Suspend() { p.park() }
 // wake pending) panics. On a parallel environment Resume must come from p's
 // own shard (or a CrossAt callback delivered to it).
 func (e *Env) Resume(p *Proc) { e.scheduleWake(p, p.sh.now) }
+
+// SetSampler installs a host-side observation hook on a shard: fn runs, on
+// that shard's executing goroutine, the first time the shard clock reaches
+// each multiple of tick. The hook is out of band — it is invoked from the
+// clock-advance path rather than from a scheduled event, so installing it
+// pushes nothing onto the heap, allocates no sequence numbers and cannot
+// change the event order, window bounds or any simulated result. fn must
+// only read simulation state (and write host-side records); it runs with
+// the shard mid-event, must not block and must not touch kernel
+// primitives. A nil fn removes the hook. tick must be positive.
+func (e *Env) SetSampler(shard int, tick Duration, fn func(now Time)) {
+	s := e.shs[shard]
+	if fn == nil {
+		s.obsFn = nil
+		return
+	}
+	if tick <= 0 {
+		panic("sim: SetSampler needs a positive tick")
+	}
+	s.obsTick = tick
+	s.obsNext = s.now.Add(tick)
+	s.obsFn = fn
+}
+
+// fireObs invokes the sampler for the tick boundary the clock just crossed,
+// then advances the next boundary past the present — one sample per tick
+// while the shard is busy, a single catch-up sample (at the last crossed
+// boundary) after an idle jump. The cadence is a pure function of the
+// shard's event times, so it is identical on the serial and concurrent
+// kernels.
+func (s *shard) fireObs() {
+	t := s.obsNext
+	tick := Time(s.obsTick)
+	if behind := s.now - t; behind >= tick {
+		k := behind / tick
+		t += k * tick
+	}
+	s.obsNext = t + tick
+	s.obsFn(t)
+}
+
+// ShardCounters returns one shard's cumulative kernel counters: events
+// executed (including fast-path clock advances), window rounds run and
+// barrier rounds sat out (both zero on the serial kernel). Safe from the
+// driver between runs or from code executing on that shard.
+func (e *Env) ShardCounters(shard int) (executed, windows, stalls uint64) {
+	s := e.shs[shard]
+	return s.executed, s.windows, s.stalls
+}

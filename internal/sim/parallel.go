@@ -200,9 +200,11 @@ func (e *Env) runParallel(horizon Time) error {
 				}
 			}
 			if s.events[0].at > lim {
+				s.stalls++
 				continue
 			}
 			s.horizon = lim
+			s.windows++
 			if !e.concurrent {
 				if s.dispatch(nil) == batonHanded {
 					<-s.parked
@@ -328,6 +330,29 @@ func (e *Env) ShardExecuted() []uint64 {
 	out := make([]uint64, len(e.shs))
 	for i, s := range e.shs {
 		out[i] = s.executed
+	}
+	return out
+}
+
+// ShardWindows returns a snapshot of per-shard window-round counts: how
+// many barrier rounds each shard ran a window in. Zero on the serial
+// kernel, where RunUntil is one unbounded window.
+func (e *Env) ShardWindows() []uint64 {
+	out := make([]uint64, len(e.shs))
+	for i, s := range e.shs {
+		out[i] = s.windows
+	}
+	return out
+}
+
+// ShardStalls returns a snapshot of per-shard barrier-stall counts: rounds
+// where the shard held pending events but its next event lay beyond the
+// conservative window bound, so it sat the round out waiting on another
+// shard's progress.
+func (e *Env) ShardStalls() []uint64 {
+	out := make([]uint64, len(e.shs))
+	for i, s := range e.shs {
+		out[i] = s.stalls
 	}
 	return out
 }

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"bionicdb/internal/sim"
+)
+
+// The latency-anatomy merge contract: per-terminal anatomies merge in
+// terminal-ID order on the host, windowed engine anatomies come from
+// snapshot subtraction, and both must be insensitive to how the samples
+// were distributed — the properties the flight recorder's determinism
+// guarantee leans on.
+
+func TestHistogramSubWindow(t *testing.T) {
+	var h Histogram
+	h.Record(10 * sim.Microsecond)
+	h.Record(20 * sim.Microsecond)
+	snap := h // start-of-window snapshot
+	h.Record(40 * sim.Microsecond)
+	h.Record(80 * sim.Microsecond)
+	w := h.Sub(&snap)
+	if w.Count() != 2 {
+		t.Fatalf("window count = %d, want 2", w.Count())
+	}
+	if w.Sum() != 120*sim.Microsecond {
+		t.Errorf("window sum = %v, want 120us", w.Sum())
+	}
+	// Extrema keep the cumulative convention (they cannot be subtracted).
+	if w.Min() != 10*sim.Microsecond || w.Max() != 80*sim.Microsecond {
+		t.Errorf("window extrema = %v/%v, want cumulative 10us/80us", w.Min(), w.Max())
+	}
+	// Bucket counts subtracted: the window's median sits near the in-window
+	// samples, not the pre-window ones.
+	if p50 := w.Percentile(50); p50 < 30*sim.Microsecond {
+		t.Errorf("window p50 = %v, includes pre-window samples", p50)
+	}
+}
+
+func TestHistogramSubEmptyWindow(t *testing.T) {
+	var h Histogram
+	h.Record(5 * sim.Microsecond)
+	snap := h
+	w := h.Sub(&snap)
+	if w.Count() != 0 || w.Sum() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Errorf("empty window not zeroed: %+v", w)
+	}
+	if w.Percentile(50) != 0 || w.Mean() != 0 {
+		t.Error("empty window reports nonzero statistics")
+	}
+	// An entirely-empty histogram subtracts to itself.
+	var e Histogram
+	if z := e.Sub(&Histogram{}); z.Count() != 0 {
+		t.Error("empty Sub empty produced samples")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := sim.Duration(1) << 62 // beyond any bucket boundary
+	h.Record(huge)
+	h.Record(huge - 1)
+	if h.Count() != 2 || h.Max() != huge {
+		t.Fatalf("overflow samples lost: count %d max %v", h.Count(), h.Max())
+	}
+	// Percentiles of overflow-bucket samples clamp to the observed range
+	// rather than the bucket's theoretical top.
+	if p := h.Percentile(99); p > huge || p <= 0 {
+		t.Errorf("overflow p99 = %v, outside (0, max]", p)
+	}
+	// Merging two overflow histograms keeps counts and extrema.
+	var o Histogram
+	o.Record(huge)
+	h.Merge(&o)
+	if h.Count() != 3 || h.Max() != huge {
+		t.Errorf("overflow merge lost samples: count %d max %v", h.Count(), h.Max())
+	}
+	// And windows subtract cleanly through the overflow bucket.
+	snap := h
+	h.Record(huge)
+	if w := h.Sub(&snap); w.Count() != 1 || w.Sum() != huge {
+		t.Errorf("overflow window = count %d sum %v, want 1/%v", w.Count(), w.Sum(), huge)
+	}
+}
+
+func TestAnatomyRecordDropsZero(t *testing.T) {
+	var a Anatomy
+	a.Record(PhaseLock, 0)
+	a.Record(PhaseLock, -5)
+	a.Record(PhaseLock, 3*sim.Microsecond)
+	if a.Samples() != 1 || a.Phase(PhaseLock).Count() != 1 {
+		t.Errorf("zero/negative observations not dropped: %d samples", a.Samples())
+	}
+}
+
+// TestAnatomyMergeOrderInvariance models the harness's terminal merge: the
+// same per-transaction observations distributed across different terminal
+// sets, merged in any order, must produce the identical aggregate — the
+// merged anatomy depends only on the multiset of samples.
+func TestAnatomyMergeOrderInvariance(t *testing.T) {
+	obsSet := []struct {
+		ph Phase
+		d  sim.Duration
+	}{
+		{PhaseQueue, 2 * sim.Microsecond},
+		{PhaseExec, 10 * sim.Microsecond},
+		{PhaseExec, 11 * sim.Microsecond},
+		{PhaseLock, 40 * sim.Microsecond},
+		{PhaseCross, 7 * sim.Microsecond},
+		{PhaseDur, 90 * sim.Microsecond},
+		{PhaseRepl, 500 * sim.Microsecond},
+	}
+	// Split 1: one terminal per observation, merged 0..N.
+	terms := make([]Anatomy, len(obsSet))
+	for i, o := range obsSet {
+		terms[i].Record(o.ph, o.d)
+	}
+	var fwd Anatomy
+	for i := range terms {
+		fwd.Merge(&terms[i])
+	}
+	// Split 2: same observations, merged in reverse terminal order.
+	var rev Anatomy
+	for i := len(terms) - 1; i >= 0; i-- {
+		rev.Merge(&terms[i])
+	}
+	// Split 3: all observations recorded into a single anatomy.
+	var one Anatomy
+	for _, o := range obsSet {
+		one.Record(o.ph, o.d)
+	}
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Error("merge is order-sensitive: forward != reverse")
+	}
+	if !reflect.DeepEqual(fwd, one) {
+		t.Error("merged split differs from single-recorder aggregate")
+	}
+	if fwd.Samples() != int64(len(obsSet)) {
+		t.Errorf("merged samples = %d, want %d", fwd.Samples(), len(obsSet))
+	}
+}
+
+func TestAnatomySubWindow(t *testing.T) {
+	var a Anatomy
+	a.Record(PhaseExec, 10*sim.Microsecond)
+	a.Record(PhaseRepl, 100*sim.Microsecond)
+	snap := a
+	a.Record(PhaseRepl, 300*sim.Microsecond)
+	w := a.Sub(&snap)
+	if w.Samples() != 1 {
+		t.Fatalf("window samples = %d, want 1", w.Samples())
+	}
+	if w.Phase(PhaseExec).Count() != 0 {
+		t.Error("pre-window exec sample leaked into the window")
+	}
+	if w.Phase(PhaseRepl).Count() != 1 || w.Phase(PhaseRepl).Sum() != 300*sim.Microsecond {
+		t.Errorf("repl window = count %d sum %v, want 1/300us",
+			w.Phase(PhaseRepl).Count(), w.Phase(PhaseRepl).Sum())
+	}
+	// An idle engine between snapshots yields an all-empty window.
+	if idle := a.Sub(&a); idle.Samples() != 0 {
+		t.Errorf("identical snapshots produced %d samples", idle.Samples())
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Phases() {
+		n := p.String()
+		if n == "" || seen[n] {
+			t.Errorf("phase %d has empty or duplicate name %q", p, n)
+		}
+		seen[n] = true
+	}
+	if Phase(200).String() != "Phase(200)" {
+		t.Error("out-of-range phase name not diagnostic")
+	}
+}

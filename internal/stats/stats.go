@@ -235,6 +235,107 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Sub returns the windowed difference h - o for measurement windows bounded
+// by two snapshots: bucket counts, the observation count and the sum
+// subtract; min and max keep h's run-cumulative values (extrema cannot be
+// subtracted — same convention as ScanStats.Sub). o must be an earlier
+// snapshot of the same histogram.
+func (h *Histogram) Sub(o *Histogram) Histogram {
+	out := *h
+	out.n -= o.n
+	out.sum -= o.sum
+	for i := range out.counts {
+		out.counts[i] -= o.counts[i]
+	}
+	if out.n == 0 {
+		out.min, out.max, out.sum = 0, 0, 0
+	}
+	return out
+}
+
+// Phase identifies where a transaction's latency went: the per-transaction
+// anatomy the flight recorder aggregates. Queue and lock waits, execution
+// and the cross-shard decision round can overlap across a transaction's
+// actions (DORA runs them in parallel on different partitions), so phases
+// sum to more than the end-to-end latency on multi-partition transactions;
+// each phase is the summed time its kind of wait consumed.
+type Phase uint8
+
+const (
+	PhaseQueue Phase = iota // partition input-queue wait before first dispatch
+	PhaseLock               // lock wait: deferred actions (DORA) or lock-manager blocks (conventional)
+	PhaseExec               // transaction-logic execution on the partitions
+	PhaseCross              // cross-shard decision round (coordinator rendezvous)
+	PhaseDur                // durability fan-in: the vector durable-point wait
+	PhaseRepl               // replication ack wait extending the durable point
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"queue", "lock", "exec", "cross-shard", "durability", "replication"}
+
+// String returns the phase's report name.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Phases lists all phases in report order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Anatomy is the per-transaction latency breakdown: one log-scale histogram
+// per phase. The zero value is ready to use. Like every histogram in this
+// package it is written only from simulated processes (one at a time per
+// kernel shard) and merged host-side in deterministic order.
+type Anatomy struct {
+	Phases [NumPhases]Histogram
+}
+
+// Record adds one observation of phase p. Zero durations are dropped: a
+// phase a transaction never entered (no lock conflict, no cross-shard
+// round) contributes no sample rather than a spurious zero.
+func (a *Anatomy) Record(p Phase, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.Phases[p].Record(d)
+}
+
+// Phase returns phase p's histogram.
+func (a *Anatomy) Phase(p Phase) *Histogram { return &a.Phases[p] }
+
+// Merge adds all of o's observations into a.
+func (a *Anatomy) Merge(o *Anatomy) {
+	for i := range a.Phases {
+		a.Phases[i].Merge(&o.Phases[i])
+	}
+}
+
+// Sub returns the per-phase windowed difference a - o (see Histogram.Sub).
+func (a *Anatomy) Sub(o *Anatomy) Anatomy {
+	var out Anatomy
+	for i := range a.Phases {
+		out.Phases[i] = a.Phases[i].Sub(&o.Phases[i])
+	}
+	return out
+}
+
+// Samples returns the total observation count across phases.
+func (a *Anatomy) Samples() int64 {
+	var n int64
+	for i := range a.Phases {
+		n += a.Phases[i].Count()
+	}
+	return n
+}
+
 // Table renders aligned text tables for the figure generators.
 type Table struct {
 	header []string

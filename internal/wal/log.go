@@ -217,6 +217,10 @@ func (m *Manager) LatchWait() sim.Duration { return m.latch.WaitTime() }
 // arbitration epochs.
 func (m *Manager) ShardStats() (syncs, epochs int64) { return m.flushes, 0 }
 
+// Backlog returns the bytes appended but not yet handed to the device — the
+// flush-backlog gauge the telemetry sampler reads.
+func (m *Manager) Backlog() int { return len(m.buf) }
+
 // Stop quiesces the flush daemon after the current pass; pending bytes are
 // flushed first.
 func (m *Manager) Stop() {

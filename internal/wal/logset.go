@@ -272,6 +272,23 @@ type shardStatser interface {
 	ShardStats() (syncs, epochs int64)
 }
 
+// backlogger is implemented by appenders that expose a flush backlog (the
+// software Manager; the hardware log engine buffers inside the model and
+// reports none).
+type backlogger interface {
+	Backlog() int
+}
+
+// Backlog returns shard i's appended-but-not-yet-flushed byte count, or 0
+// when the appender exposes none — the telemetry sampler's flush-backlog
+// gauge.
+func (ls *LogSet) Backlog(i int) int {
+	if b, ok := ls.shards[i].App.(backlogger); ok {
+		return b.Backlog()
+	}
+	return 0
+}
+
 // Stats reports per-shard cumulative activity counters (socket, durable
 // bytes, syncs, arbitration epochs).
 func (ls *LogSet) Stats() []stats.LogShardStats {

@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 
+	"bionicdb/internal/obs"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
 )
@@ -54,6 +55,12 @@ type ReplicaSet struct {
 	stalled   []bool  // per replica
 
 	stopped bool
+
+	// Flight-recorder hooks (SetObs): host-side only, nil when untraced.
+	// Replication machinery always lives on kernel shard 0 (a replicated
+	// log set cannot be confined), so both are written from that shard.
+	obsRec *obs.ShardRec
+	obsAn  *stats.Anatomy
 }
 
 // NewReplicaSet builds the shipping machinery for ls on its platform's
@@ -185,6 +192,22 @@ func (rs *ReplicaSet) AckWaitVec(vec []ShardLSN, done *sim.Signal) {
 		done.Fire(nil)
 		return
 	}
+	if rs.obsRec != nil || rs.obsAn != nil {
+		// Out-of-band measurement of the ack wait: an OnFire hook runs
+		// inline when done fires, so this registers no events and cannot
+		// change the schedule. A wait satisfied immediately records nothing.
+		t0 := rs.ls.pl.Env.ShardNow(0)
+		done.OnFire(func(any) {
+			end := rs.ls.pl.Env.ShardNow(0)
+			if end <= t0 {
+				return
+			}
+			if rs.obsAn != nil {
+				rs.obsAn.Record(stats.PhaseRepl, end.Sub(t0))
+			}
+			rs.obsRec.Record(obs.Span{Start: t0, End: end, Kind: obs.KindReplWait})
+		})
+	}
 	remaining := len(vec)
 	dec := func() {
 		remaining--
@@ -251,6 +274,31 @@ func (rs *ReplicaSet) CrashImage() (logs [][]byte, replicaBytes, lostTail int64)
 		lostTail += int64(rs.ls.shards[s].Store.Len() - best.Len())
 	}
 	return logs, replicaBytes, lostTail
+}
+
+// SetObs attaches the flight recorder's hooks: commit-path ack waits are
+// recorded as KindReplWait spans into rec and PhaseRepl anatomy samples
+// into an. Both are host-side observers; attaching them changes no
+// simulated behavior. Either may be nil.
+func (rs *ReplicaSet) SetObs(rec *obs.ShardRec, an *stats.Anatomy) {
+	rs.obsRec = rec
+	rs.obsAn = an
+}
+
+// CurLagBytes returns the instantaneous worst replication lag: the largest
+// primary-durable lead over any replica's acknowledged horizon, across
+// shards, in log bytes — the telemetry sampler's replica-lag gauge.
+func (rs *ReplicaSet) CurLagBytes() int64 {
+	var worst int64
+	for s := range rs.ls.shards {
+		durable := int64(rs.ls.shards[s].Store.Durable())
+		for r := range rs.acked {
+			if lag := durable - int64(rs.acked[r][s]); lag > worst {
+				worst = lag
+			}
+		}
+	}
+	return worst
 }
 
 // Stats reports per-shard cumulative shipping counters.

@@ -7,6 +7,7 @@ import (
 	"bionicdb/internal/core"
 	"bionicdb/internal/hw/overlay"
 	"bionicdb/internal/hw/scanner"
+	"bionicdb/internal/obs"
 	"bionicdb/internal/platform"
 	"bionicdb/internal/sim"
 	"bionicdb/internal/stats"
@@ -99,7 +100,16 @@ type Run struct {
 
 	st      stats.ScanStats
 	stopped bool
+
+	// rec, when non-nil, records one span per analytical scan pass
+	// (SetRecorder; host-side only).
+	rec *obs.ShardRec
 }
+
+// SetRecorder attaches the flight recorder's ring for the shard the scan
+// clients run on; the harness wires it when tracing is enabled. Attaching
+// it changes no simulated behavior.
+func (mr *Run) SetRecorder(rec *obs.ShardRec) { mr.rec = rec }
 
 // Attach implements core.Analytics: build the projections from the
 // populated row store, wire the maintenance path, and remember the run for
@@ -289,6 +299,10 @@ func (mr *Run) scanOnce(p *sim.Proc, core *platform.Core, cr *sim.Rand, socket i
 	mr.st.RowsOut += int64(len(out))
 	mr.st.Bytes += int64(rows) * int64(pt.col.RowWidth())
 	mr.st.ScanTime += p.Now().Sub(start)
+	if end := p.Now(); end > start {
+		mr.rec.Record(obs.Span{Start: start, End: end, Kind: obs.KindScan,
+			Socket: int32(socket)})
+	}
 }
 
 // Snapshot implements core.AnalyticsRun.
